@@ -1,0 +1,69 @@
+"""E1 — Table: reverse-engineered policies per processor and cache level.
+
+The paper's headline table: for every examined machine, the replacement
+policy of each cache level, as inferred purely from measurements.  In
+the reproduction the processors are simulated, so the table gains a
+ground-truth column the original could not have — every row must match.
+"""
+
+import pytest
+
+from repro import (
+    PROCESSORS,
+    HardwarePlatform,
+    HardwareSetOracle,
+    InferenceConfig,
+    reverse_engineer,
+)
+from repro.util.tables import format_table
+
+#: Trimmed verification keeps the 16-way L3 runs tractable; the method
+#: is unchanged.
+FAST = InferenceConfig(verify_sequences=10, verify_length=40)
+
+
+#: Set-dueling policies have no single per-set identity; the correct
+#: verdict for them is "unidentified" here, and experiment E9 shows how
+#: they are recognised as adaptive instead.
+ADAPTIVE_POLICIES = ("dip", "drrip")
+
+
+def infer_all() -> list[list[object]]:
+    rows = []
+    for name in sorted(PROCESSORS):
+        spec = PROCESSORS[name]
+        platform = HardwarePlatform(spec, seed=0)
+        for level_spec in spec.levels:
+            level = level_spec.config.name
+            oracle = HardwareSetOracle(platform, level)
+            finding = reverse_engineer(oracle, inference_config=FAST)
+            truth = spec.ground_truth[level]
+            if truth in ADAPTIVE_POLICIES:
+                match = "yes" if not finding.identified else "NO"
+                truth = f"{truth} (adaptive; see E9)"
+            else:
+                match = "yes" if finding.policy_name == truth else "NO"
+            rows.append(
+                [
+                    name,
+                    level,
+                    level_spec.config.describe().split(": ", 1)[1],
+                    finding.summary(),
+                    truth,
+                    match,
+                    finding.measurements,
+                ]
+            )
+    return rows
+
+
+def test_e1_inferred_policies(benchmark, save_result):
+    rows = benchmark.pedantic(infer_all, rounds=1, iterations=1)
+    table = format_table(
+        ["processor", "level", "geometry", "inferred", "truth", "match", "measurements"],
+        rows,
+        title="E1: reverse-engineered replacement policies (simulated catalog)",
+    )
+    save_result("e1_inferred_policies", table)
+    mismatches = [row for row in rows if row[5] != "yes"]
+    assert not mismatches, f"inference failed on: {mismatches}"

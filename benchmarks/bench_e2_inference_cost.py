@@ -1,0 +1,57 @@
+"""E2 — Table: inference cost versus associativity.
+
+The paper reports how many measurements its algorithms need.  The cost
+of permutation inference grows polynomially with the associativity
+(position tables are A x A, each entry needing up to A survival probes);
+this benchmark regenerates the measurement and access counts and checks
+the growth stays polynomial (roughly cubic for the linear strategy).
+"""
+
+import pytest
+
+from repro.core import InferenceConfig, PermutationInference, SimulatedSetOracle
+from repro.policies import make_policy
+from repro.util.tables import format_table
+
+WAYS = [2, 4, 8, 16]
+POLICIES = ["lru", "fifo", "plru"]
+
+
+def measure_costs() -> list[list[object]]:
+    rows = []
+    for ways in WAYS:
+        for policy_name in POLICIES:
+            oracle = SimulatedSetOracle(make_policy(policy_name, ways))
+            result = PermutationInference(
+                oracle, config=InferenceConfig(verify_sequences=10)
+            ).infer()
+            assert result.succeeded, (policy_name, ways)
+            rows.append([policy_name, ways, result.measurements, result.accesses])
+    return rows
+
+
+def test_e2_inference_cost(benchmark, save_result):
+    rows = benchmark.pedantic(measure_costs, rounds=1, iterations=1)
+    table = format_table(
+        ["policy", "ways", "measurements", "accesses"],
+        rows,
+        title="E2: permutation-inference cost vs associativity (linear strategy)",
+    )
+    save_result("e2_inference_cost", table)
+    # Shape check: cost grows superlinearly but stays polynomial (< A^4).
+    lru = {row[1]: row[2] for row in rows if row[0] == "lru"}
+    assert lru[16] > lru[8] > lru[4]
+    assert lru[16] / lru[4] < (16 / 4) ** 4
+
+
+def test_e2_single_inference_timing(benchmark):
+    """Timing kernel: one full 8-way PLRU inference."""
+
+    def run():
+        oracle = SimulatedSetOracle(make_policy("plru", 8))
+        return PermutationInference(
+            oracle, config=InferenceConfig(verify_sequences=5)
+        ).infer()
+
+    result = benchmark(run)
+    assert result.succeeded

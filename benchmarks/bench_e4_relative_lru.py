@@ -1,0 +1,51 @@
+"""E4 — Figure: miss ratio relative to LRU across cache sizes.
+
+The crossover figure: on a working set slightly larger than the cache,
+LRU thrashes while LIP/DIP keep most of the loop resident — until the
+cache grows past the footprint, where all policies converge.  Series
+are normalised to LRU per size, as the paper's relative plots are.
+"""
+
+import pytest
+
+from repro.eval import cache_size_sweep
+from repro.util.tables import format_table
+from repro.workloads import cyclic_loop
+
+POLICIES = ["lru", "fifo", "plru", "lip", "dip", "srrip"]
+SIZES = [8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
+TRACE = cyclic_loop(640, iterations=12)  # 40 KiB footprint
+
+
+def compute_sweep():
+    return cache_size_sweep(TRACE, SIZES, POLICIES, ways=8)
+
+
+def test_e4_relative_to_lru(benchmark, save_result):
+    points = benchmark.pedantic(compute_sweep, rounds=1, iterations=1)
+
+    def ratio(policy, size):
+        return next(
+            p.miss_ratio for p in points if p.policy == policy and p.cache_size == size
+        )
+
+    rows = []
+    for size in SIZES:
+        base = ratio("lru", size)
+        row = [f"{size // 1024} KiB"] + [
+            ratio(policy, size) / base if base else 1.0 for policy in POLICIES
+        ]
+        rows.append(row)
+    table = format_table(
+        ["cache size"] + POLICIES,
+        rows,
+        title=f"E4: miss ratio relative to LRU on {TRACE.name} (40 KiB footprint)",
+    )
+    save_result("e4_relative_lru", table)
+
+    # Shape: below the footprint LIP/DIP beat LRU by a large factor ...
+    assert ratio("lip", 32 * 1024) < 0.5 * ratio("lru", 32 * 1024)
+    assert ratio("dip", 32 * 1024) < 0.5 * ratio("lru", 32 * 1024)
+    # ... and everyone converges once the loop fits.
+    for policy in POLICIES:
+        assert ratio(policy, 128 * 1024) == pytest.approx(ratio("lru", 128 * 1024))

@@ -1,0 +1,81 @@
+"""E7 — Ablation: position-measurement strategies and thrash prefixes.
+
+Two design choices of the inference procedure are ablated:
+
+* **probe strategy** — scanning the eviction depth linearly vs binary
+  searching it.  Binary search needs fewer, slightly longer
+  measurements; the advantage grows with associativity.
+* **thrash prefix length** — the establishment prefix that puts the set
+  into steady state.  Dropping it (factor 0) must break policies whose
+  cold-fill arrangement differs from steady state (tree PLRU), which is
+  exactly why the paper establishes states through misses on a full set.
+"""
+
+import pytest
+
+from repro.core import InferenceConfig, PermutationInference, SimulatedSetOracle
+from repro.policies import make_policy
+from repro.util.tables import format_table
+
+
+def strategy_rows():
+    rows = []
+    for ways in (4, 8, 16):
+        for strategy in ("linear", "binary"):
+            oracle = SimulatedSetOracle(make_policy("plru", ways))
+            result = PermutationInference(
+                oracle,
+                config=InferenceConfig(strategy=strategy, verify_sequences=10),
+            ).infer()
+            assert result.succeeded
+            rows.append([ways, strategy, result.measurements, result.accesses])
+    return rows
+
+
+def test_e7_strategy_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(strategy_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["ways", "strategy", "measurements", "accesses"],
+        rows,
+        title="E7a: position-measurement strategy ablation (PLRU target)",
+    )
+    save_result("e7_strategy_ablation", table)
+    cost = {(row[0], row[1]): row[2] for row in rows}
+    for ways in (8, 16):
+        assert cost[(ways, "binary")] < cost[(ways, "linear")]
+    # The saving grows with associativity.
+    saving_8 = cost[(8, "linear")] / cost[(8, "binary")]
+    saving_16 = cost[(16, "linear")] / cost[(16, "binary")]
+    assert saving_16 >= saving_8
+
+
+def thrash_rows():
+    rows = []
+    for factor in (0, 1, 2):
+        oracle = SimulatedSetOracle(make_policy("plru", 8))
+        result = PermutationInference(
+            oracle,
+            config=InferenceConfig(thrash_factor=factor, verify_sequences=10),
+        ).infer()
+        rows.append(
+            [
+                factor,
+                "ok" if result.succeeded else f"fails ({result.failure_reason})",
+                result.measurements,
+            ]
+        )
+    return rows
+
+
+def test_e7_thrash_prefix_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(thrash_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["thrash factor", "outcome", "measurements"],
+        rows,
+        title="E7b: establishment thrash-prefix ablation (8-way tree PLRU)",
+    )
+    save_result("e7_thrash_ablation", table)
+    by_factor = {row[0]: row[1] for row in rows}
+    # Without the prefix the cold-fill arrangement leaks into the model.
+    assert by_factor[0] != "ok"
+    assert by_factor[1] == by_factor[2] == "ok"

@@ -1,0 +1,29 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures
+(reconstructed as experiments E1-E8; see DESIGN.md).  Besides the
+pytest-benchmark timing, each writes its rows to
+``benchmarks/results/<experiment>.txt`` so the numbers survive the run
+and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist an experiment table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

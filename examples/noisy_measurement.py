@@ -1,0 +1,67 @@
+"""Inference under measurement noise, and how repetition fixes it.
+
+Run with::
+
+    python examples/noisy_measurement.py
+
+The paper's measurements fight performance-counter pollution.  This
+example reproduces the situation on the simulated platform: single-shot
+inference degrades as counter noise grows, while repeated measurements
+with min-aggregation (noise only ever adds counts) stay correct.
+"""
+
+from repro import (
+    HardwarePlatform,
+    HardwareSetOracle,
+    InferenceConfig,
+    NoiseModel,
+    VotingOracle,
+    reverse_engineer,
+)
+from repro.cache import CacheConfig
+from repro.hardware import LevelSpec, ProcessorSpec
+from repro.util.tables import format_table
+
+
+def noisy_processor(rate: float) -> ProcessorSpec:
+    return ProcessorSpec(
+        name=f"noisy-{rate:g}",
+        description="PLRU L1 with noisy counters",
+        levels=(LevelSpec(CacheConfig("L1", 4 * 1024, 4), "plru"),),
+        noise=NoiseModel(counter_noise_rate=rate),
+    )
+
+
+def attempt(rate: float, repetitions: int, seed: int) -> str:
+    platform = HardwarePlatform(noisy_processor(rate), seed=seed)
+    oracle = HardwareSetOracle(platform, "L1", max_blocks=96)
+    if repetitions > 1:
+        oracle = VotingOracle(oracle, repetitions=repetitions, aggregate="min")
+    config = InferenceConfig(verify_sequences=8, verify_length=40, verify_window=4)
+    finding = reverse_engineer(oracle, inference_config=config)
+    if finding.policy_name == "plru":
+        return "plru (correct)"
+    return finding.summary()
+
+
+def main() -> None:
+    rows = []
+    for rate in (0.0, 0.005, 0.02, 0.05):
+        rows.append(
+            [
+                f"{rate:g}",
+                attempt(rate, repetitions=1, seed=1),
+                attempt(rate, repetitions=7, seed=1),
+            ]
+        )
+    print(
+        format_table(
+            ["noise rate", "single shot", "7x repetition (min)"],
+            rows,
+            title="inference of a PLRU L1 under counter noise",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

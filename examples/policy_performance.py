@@ -1,0 +1,64 @@
+"""Performance evaluation: miss ratios of policies across workloads.
+
+Run with::
+
+    python examples/policy_performance.py
+
+The evaluation half of the paper: once the policies of real machines are
+known, how do they perform?  This example prints (a) the policy-by-
+workload miss-ratio matrix at a fixed cache and (b) a cache-size sweep
+showing where insertion policies overtake LRU on a thrashing loop.
+"""
+
+from repro import CacheConfig, workload_suite
+from repro.eval import cache_size_sweep, miss_ratio_matrix
+from repro.util.tables import format_table
+from repro.workloads import cyclic_loop
+
+POLICIES = ["lru", "fifo", "plru", "bitplru", "srrip", "lip", "dip", "random"]
+
+
+def matrix_section() -> None:
+    config = CacheConfig("L2", 64 * 1024, 8)  # 1024 lines
+    traces = workload_suite(cache_lines=config.num_sets * config.ways, seed=0)
+    matrix = miss_ratio_matrix(traces, config, POLICIES)
+    print(
+        format_table(
+            ["workload"] + matrix.policies(),
+            matrix.rows(),
+            title=f"miss ratios @ {config.describe()}",
+        )
+    )
+
+
+def sweep_section() -> None:
+    # A loop slightly larger than mid-sized caches: the LRU pathology.
+    trace = cyclic_loop(640, iterations=12)  # 40 KiB footprint
+    sizes = [8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
+    points = cache_size_sweep(trace, sizes, ["lru", "lip", "dip", "srrip"])
+    rows = []
+    for size in sizes:
+        row = [f"{size // 1024} KiB"]
+        for policy in ("lru", "lip", "dip", "srrip"):
+            ratio = next(
+                p.miss_ratio for p in points if p.policy == policy and p.cache_size == size
+            )
+            row.append(ratio)
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["cache size", "lru", "lip", "dip", "srrip"],
+            rows,
+            title=f"cache-size sweep on {trace.name} (footprint 40 KiB)",
+        )
+    )
+
+
+def main() -> None:
+    matrix_section()
+    sweep_section()
+
+
+if __name__ == "__main__":
+    main()

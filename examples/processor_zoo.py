@@ -1,0 +1,70 @@
+"""Reverse engineer every cache of every catalog processor (E1 preview).
+
+Run with::
+
+    python examples/processor_zoo.py [--fast]
+
+Produces the per-processor policy table of experiment E1: for each
+simulated machine and each cache level, what policy did inference find,
+by which method, and at what measurement cost.  ``--fast`` trims the
+verification effort (useful on slow machines); the benchmark in
+``benchmarks/bench_e1_inferred_policies.py`` runs the full version.
+"""
+
+import sys
+import time
+
+from repro import (
+    PROCESSORS,
+    HardwarePlatform,
+    HardwareSetOracle,
+    InferenceConfig,
+    reverse_engineer,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    config = InferenceConfig(verify_sequences=8, verify_length=40) if fast else None
+    rows = []
+    for name in sorted(PROCESSORS):
+        spec = PROCESSORS[name]
+        platform = HardwarePlatform(spec, seed=0)
+        for level in [lvl.config.name for lvl in spec.levels]:
+            started = time.time()
+            oracle = HardwareSetOracle(platform, level)
+            finding = reverse_engineer(oracle, inference_config=config)
+            truth = spec.ground_truth[level]
+            if truth in ("dip", "drrip"):
+                # Set-dueling caches have no single per-set policy; being
+                # unidentified here is the right answer (the adaptivity
+                # survey in repro.core.adaptive tells the full story).
+                match = "yes" if not finding.identified else "NO"
+                truth = f"{truth} (adaptive)"
+            else:
+                match = "yes" if finding.policy_name == truth else "NO"
+            rows.append(
+                [
+                    name,
+                    level,
+                    finding.summary(),
+                    truth,
+                    match,
+                    finding.measurements,
+                    f"{time.time() - started:.1f}s",
+                ]
+            )
+            print(f"  {name} {level}: {finding.summary()}")
+    print()
+    print(
+        format_table(
+            ["processor", "level", "inferred", "ground truth", "match", "measurements", "time"],
+            rows,
+            title="E1: reverse-engineered replacement policies",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

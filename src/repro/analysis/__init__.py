@@ -1,0 +1,48 @@
+"""Static cache analysis: WCET-style must/may classification.
+
+The consumer side of the paper's predictability evaluation: once a
+cache's policy is reverse engineered, these analyses compute guaranteed
+hit/miss classifications for programs — exactly for LRU, and generically
+for any deterministic policy via its minimum-life-span and evict
+metrics.
+"""
+
+from repro.analysis.classify import (
+    ALWAYS_HIT,
+    ALWAYS_MISS,
+    UNCLASSIFIED,
+    AccessClassification,
+    AnalysisResult,
+    analyze,
+    check_soundness,
+)
+from repro.analysis.domain import AbstractCacheState
+from repro.analysis.fixpoint import block_transfer, solve
+from repro.analysis.generic import generic_analysis, mls_metric_policy
+from repro.analysis.program import (
+    BasicBlock,
+    Program,
+    diamond,
+    simple_loop,
+    straight_line,
+)
+
+__all__ = [
+    "ALWAYS_HIT",
+    "ALWAYS_MISS",
+    "UNCLASSIFIED",
+    "AccessClassification",
+    "AnalysisResult",
+    "analyze",
+    "check_soundness",
+    "AbstractCacheState",
+    "block_transfer",
+    "solve",
+    "generic_analysis",
+    "mls_metric_policy",
+    "BasicBlock",
+    "Program",
+    "diamond",
+    "simple_loop",
+    "straight_line",
+]

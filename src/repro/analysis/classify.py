@@ -1,0 +1,142 @@
+"""Access classification: always-hit / always-miss / unclassified.
+
+Combines the must and may fixpoints: at each access site,
+
+* the line being in the *must* state means every execution hits;
+* the line being absent from the *may* state means every execution
+  misses;
+* anything else stays unclassified (the honest third verdict).
+
+:func:`check_soundness` replays random concrete paths through the
+program on a real simulated cache and verifies the classifications —
+the property tests run it over random programs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.fixpoint import solve
+from repro.analysis.program import Program
+from repro.cache import Cache, CacheConfig
+
+ALWAYS_HIT = "always-hit"
+ALWAYS_MISS = "always-miss"
+UNCLASSIFIED = "unclassified"
+
+
+@dataclass(frozen=True)
+class AccessClassification:
+    """Verdict for one access site."""
+
+    block: str
+    index: int
+    address: int
+    verdict: str
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """All classifications of one program/cache combination."""
+
+    classifications: tuple[AccessClassification, ...]
+    capacity: int
+
+    def verdict_of(self, block: str, index: int) -> str:
+        """Verdict for the access at ``(block, index)``."""
+        for classification in self.classifications:
+            if classification.block == block and classification.index == index:
+                return classification.verdict
+        raise KeyError(f"no access at {block}[{index}]")
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of verdicts."""
+        histogram = Counter(c.verdict for c in self.classifications)
+        return {
+            ALWAYS_HIT: histogram.get(ALWAYS_HIT, 0),
+            ALWAYS_MISS: histogram.get(ALWAYS_MISS, 0),
+            UNCLASSIFIED: histogram.get(UNCLASSIFIED, 0),
+        }
+
+    @property
+    def guaranteed_hit_fraction(self) -> float:
+        """Fraction of access sites proven always-hit."""
+        if not self.classifications:
+            return 0.0
+        return self.counts()[ALWAYS_HIT] / len(self.classifications)
+
+
+def analyze(
+    program: Program,
+    config: CacheConfig,
+    capacity: int | None = None,
+    may_capacity: int | None = None,
+) -> AnalysisResult:
+    """Run must and may analyses and classify every access site.
+
+    ``capacity`` overrides the must-domain age bound and
+    ``may_capacity`` the may-domain bound.  For plain LRU both default
+    to the associativity.  The policy-generic analysis passes the
+    policy's *minimum life span* as the must bound (hits guaranteed
+    within that window) and its *evict* metric as the may bound (absence
+    guaranteed only after that many distinct accesses) — both sound
+    replacements derived in :mod:`repro.analysis.generic`.
+    """
+    must_states = solve(program, config, "must", capacity)
+    may_states = solve(program, config, "may", may_capacity)
+    classifications = []
+    for name, block in program.blocks.items():
+        must = must_states[name].copy()
+        may = may_states[name].copy()
+        for index, address in enumerate(block.accesses):
+            if must.contains(address):
+                verdict = ALWAYS_HIT
+            elif not may.contains(address):
+                verdict = ALWAYS_MISS
+            else:
+                verdict = UNCLASSIFIED
+            classifications.append(
+                AccessClassification(name, index, address, verdict)
+            )
+            must.access(address)
+            may.access(address)
+    return AnalysisResult(
+        classifications=tuple(classifications),
+        capacity=capacity if capacity is not None else config.ways,
+    )
+
+
+def check_soundness(
+    program: Program,
+    config: CacheConfig,
+    result: AnalysisResult,
+    policy: str = "lru",
+    paths: int = 50,
+    seed: int = 0,
+) -> list[str]:
+    """Replay random paths concretely; return violation descriptions.
+
+    An empty list means no classification was contradicted on the
+    sampled paths.  Must verdicts are checked against the given policy
+    (LRU for the plain analysis; the generic analysis passes the policy
+    whose minimum life span produced the capacity).
+    """
+    violations = []
+    for path in program.random_paths(paths, seed=seed):
+        cache = Cache(config, policy)
+        for block_name in path:
+            for index, address in enumerate(program.blocks[block_name].accesses):
+                hit = cache.access(address).hit
+                verdict = result.verdict_of(block_name, index)
+                if verdict == ALWAYS_HIT and not hit:
+                    violations.append(
+                        f"{block_name}[{index}] ({address:#x}) classified "
+                        f"always-hit but missed"
+                    )
+                if verdict == ALWAYS_MISS and hit:
+                    violations.append(
+                        f"{block_name}[{index}] ({address:#x}) classified "
+                        f"always-miss but hit"
+                    )
+    return violations

@@ -1,0 +1,150 @@
+"""Abstract cache domains for LRU must/may analysis.
+
+The classic Ferdinand/Wilhelm abstract interpretation used by WCET
+tools, reproduced here because it is what the paper's "evaluation for
+predictability" ultimately serves: once a cache's policy is known, these
+domains turn it into guaranteed hit/miss classifications.
+
+Both domains track, per cache set, an *age* for each line address:
+
+* **must** ages are upper bounds on the concrete LRU age — a line in the
+  must state is guaranteed cached.  Join at control-flow merges is
+  key intersection with the maximum age; accessing ``s`` rejuvenates it
+  and ages exactly the lines with a smaller upper bound.
+* **may** ages are lower bounds — a line *missing* from the may state is
+  guaranteed absent.  Join is key union with the minimum age; accessing
+  ``s`` ages the lines with age less than or equal to ``s``'s.
+
+Lines age out of the domain at the associativity bound.  For the
+policy-generic analysis of :mod:`repro.analysis.generic` the bound is
+not the associativity but the policy's *minimum life span*, so the
+capacity is a constructor parameter.
+
+Soundness is checked empirically by the property tests in
+``tests/test_props_analysis.py``: on random programs and random paths,
+must-classified accesses never miss and may-absent accesses never hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.address import AddressCodec
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigurationError
+
+# Per-set abstract content: line address -> age bound.
+_SetState = dict[int, int]
+
+
+@dataclass
+class AbstractCacheState:
+    """Shared machinery of the must and may domains.
+
+    ``capacity`` is the age at which a line leaves the domain (the
+    associativity for plain LRU analysis; the policy's minimum life span
+    for the generic analysis).
+    """
+
+    config: CacheConfig
+    capacity: int
+    kind: str  # "must" or "may"
+    sets: dict[int, _SetState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("must", "may"):
+            raise ConfigurationError(f"unknown domain kind {self.kind!r}")
+        if self.capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self._codec = AddressCodec(self.config)
+
+    # -- queries -----------------------------------------------------------
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = self._codec.line_address(address)
+        return self._codec.decompose(line).set_index, line
+
+    def contains(self, address: int) -> bool:
+        """Is the line within the domain (guaranteed in / maybe in)?"""
+        set_index, line = self._locate(address)
+        return line in self.sets.get(set_index, {})
+
+    def age_of(self, address: int) -> int | None:
+        """The tracked age bound, or None if outside the domain."""
+        set_index, line = self._locate(address)
+        return self.sets.get(set_index, {}).get(line)
+
+    # -- transfer function ---------------------------------------------------
+    def access(self, address: int) -> None:
+        """Abstract LRU update for one access."""
+        set_index, line = self._locate(address)
+        content = self.sets.setdefault(set_index, {})
+        own_age = content.get(line, self.capacity)
+        for other, age in list(content.items()):
+            if other == line:
+                continue
+            ages = age < own_age if self.kind == "must" else age <= own_age
+            if ages:
+                if age + 1 >= self.capacity:
+                    del content[other]
+                else:
+                    content[other] = age + 1
+        content[line] = 0
+
+    # -- lattice operations -----------------------------------------------------
+    def join(self, other: "AbstractCacheState") -> "AbstractCacheState":
+        """Merge two incoming states at a control-flow join."""
+        if (self.config, self.capacity, self.kind) != (
+            other.config,
+            other.capacity,
+            other.kind,
+        ):
+            raise ConfigurationError("joining incompatible abstract states")
+        merged: dict[int, _SetState] = {}
+        set_indices = set(self.sets) | set(other.sets)
+        for set_index in set_indices:
+            mine = self.sets.get(set_index, {})
+            theirs = other.sets.get(set_index, {})
+            if self.kind == "must":
+                lines = set(mine) & set(theirs)
+                merged_set = {line: max(mine[line], theirs[line]) for line in lines}
+            else:
+                lines = set(mine) | set(theirs)
+                merged_set = {
+                    line: min(
+                        mine.get(line, self.capacity), theirs.get(line, self.capacity)
+                    )
+                    for line in lines
+                }
+            if merged_set:
+                merged[set_index] = merged_set
+        return AbstractCacheState(
+            config=self.config, capacity=self.capacity, kind=self.kind, sets=merged
+        )
+
+    def copy(self) -> "AbstractCacheState":
+        """Deep copy."""
+        return AbstractCacheState(
+            config=self.config,
+            capacity=self.capacity,
+            kind=self.kind,
+            sets={index: dict(content) for index, content in self.sets.items()},
+        )
+
+    def key(self) -> tuple:
+        """Hashable fingerprint for fixpoint convergence checks."""
+        return tuple(
+            (index, tuple(sorted(content.items())))
+            for index, content in sorted(self.sets.items())
+            if content
+        )
+
+    @classmethod
+    def empty(
+        cls, config: CacheConfig, kind: str, capacity: int | None = None
+    ) -> "AbstractCacheState":
+        """The cold-cache starting state (nothing cached)."""
+        return cls(
+            config=config,
+            capacity=capacity if capacity is not None else config.ways,
+            kind=kind,
+        )

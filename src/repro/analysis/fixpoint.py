@@ -1,0 +1,63 @@
+"""Worklist fixpoint solver over the program CFG.
+
+Computes, for every basic block, the abstract cache state holding at its
+entry — the join over all predecessors' exit states — by iterating block
+transfer functions until nothing changes.  Both domains are finite (ages
+are bounded, line sets are bounded by the program's footprint), so
+termination is guaranteed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.domain import AbstractCacheState
+from repro.analysis.program import Program
+from repro.cache.config import CacheConfig
+
+
+def block_transfer(state: AbstractCacheState, accesses: tuple[int, ...]) -> AbstractCacheState:
+    """Apply a basic block's accesses to a copy of ``state``."""
+    result = state.copy()
+    for address in accesses:
+        result.access(address)
+    return result
+
+
+def solve(
+    program: Program,
+    config: CacheConfig,
+    kind: str,
+    capacity: int | None = None,
+) -> dict[str, AbstractCacheState]:
+    """Return the entry state of every block at the fixpoint.
+
+    The entry block starts from the cold cache; unreachable blocks keep
+    the cold state too (they contribute nothing to any join).
+    """
+    states: dict[str, AbstractCacheState] = {
+        name: AbstractCacheState.empty(config, kind, capacity)
+        for name in program.blocks
+    }
+    # For the must domain the cold state (nothing guaranteed) is already
+    # the bottom of the join direction, so iteration simply grows the
+    # per-block knowledge; for may it is dually the empty may set.
+    worklist: deque[str] = deque([program.entry])
+    initialized = {program.entry}
+    while worklist:
+        name = worklist.popleft()
+        out_state = block_transfer(states[name], program.blocks[name].accesses)
+        for successor in program.successors(name):
+            if successor not in initialized:
+                # First incoming state: adopt it as-is (joining with the
+                # uninitialized placeholder would be wrong for must).
+                initialized.add(successor)
+                states[successor] = out_state.copy()
+                worklist.append(successor)
+                continue
+            joined = states[successor].join(out_state)
+            if joined.key() != states[successor].key():
+                states[successor] = joined
+                if successor not in worklist:
+                    worklist.append(successor)
+    return states

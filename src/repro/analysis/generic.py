@@ -1,0 +1,204 @@
+"""Policy-generic cache analysis via the minimum-life-span metric.
+
+The LRU must analysis generalises to *any* deterministic policy P with
+one number, the **minimum life span** mls(P): the smallest number of
+accesses to pairwise-distinct other blocks that can possibly evict a
+just-accessed block, starting from any reachable state.  If fewer than
+mls(P) distinct blocks were accessed since a block's last access, the
+block is still cached under P — so the LRU must domain with capacity
+mls(P) is a sound must analysis for P.  (This is the generic-analysis
+construction of Reineke's predictability framework; the companion may
+bound is the evict metric of :mod:`repro.eval.predictability`.)
+
+Known values reproduced by the computation (and asserted in tests):
+
+* mls(LRU, a) = a — the optimum;
+* mls(FIFO, a) = 1 — a hit block can be the next victim, so FIFO gets
+  (almost) no guaranteed hits from this analysis;
+* mls(PLRU, a) = log2(a) + 1 — an a-way PLRU only *guarantees* as much
+  as a (log2(a)+1)-way LRU, the classic PLRU result;
+* mls(bit-PLRU/MRU, a) = 2.
+
+mls is computed exactly as a shortest adversarial eviction: breadth-
+first search over (policy state, target way) pairs where the adversary
+may miss (evicting the policy's victim) or claim a hit on any
+not-yet-claimed non-target block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.classify import AnalysisResult, analyze
+from repro.analysis.program import Program
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigurationError
+from repro.eval.predictability import evict_metric_policy, reachable_full_states
+from repro.policies import ReplacementPolicy
+
+OLD = "O"  # unclaimed non-target block (may absorb one adversary hit)
+CLAIMED = "C"  # non-target block already accessed (blocks are distinct)
+TARGET = "T"
+
+
+def mls_metric_spec(spec, max_states: int = 2_000_000) -> int | None:
+    """Exact minimum life span of a permutation policy.
+
+    Positions abstract the ways away, so the search state is just the
+    label of each position and the initial states are exactly the
+    positions a just-accessed block can occupy: ``hit_perms[i][i]`` for
+    a hit at any position ``i``, or the insertion position after a fill.
+    """
+    from repro.policies.permutation import apply_permutation
+
+    ways = spec.ways
+    if ways == 1:
+        return 1
+    start_positions = {spec.hit_perms[i][i] for i in range(ways)}
+    start_positions.add(spec.insertion_position)
+    queue: deque = deque()
+    seen = set()
+    for position in start_positions:
+        labels = tuple(
+            TARGET if p == position else OLD for p in range(ways)
+        )
+        if labels not in seen:
+            seen.add(labels)
+            queue.append((labels, 0))
+    evict_pos = spec.eviction_position
+    while queue:
+        labels, depth = queue.popleft()
+        successors = []
+        if labels[evict_pos] == TARGET:
+            # A miss would evict the target right now.
+            return depth + 1
+        relocated = list(labels)
+        relocated[evict_pos] = CLAIMED  # the incoming block is claimed
+        successors.append(tuple(apply_permutation(relocated, spec.miss_perm)))
+        for position, label in enumerate(labels):
+            if label == OLD:
+                claimed = list(labels)
+                claimed[position] = CLAIMED
+                successors.append(
+                    tuple(apply_permutation(claimed, spec.hit_perms[position]))
+                )
+        for new_labels in successors:
+            if new_labels not in seen:
+                if len(seen) >= max_states:
+                    raise ConfigurationError(
+                        f"mls search exceeded {max_states} states"
+                    )
+                seen.add(new_labels)
+                queue.append((new_labels, depth + 1))
+    return None
+
+
+def mls_metric_policy(policy: ReplacementPolicy, max_states: int = 300_000) -> int | None:
+    """Exact minimum life span of a deterministic policy.
+
+    Permutation policies are analysed in position space (cheap at any
+    relevant associativity); others fall back to a way-level search,
+    which stays shallow because their minimum life spans are small.
+    Returns None for randomized policies (no guarantee exists).
+    """
+    if not policy.DETERMINISTIC:
+        return None
+    ways = policy.ways
+    if ways == 1:
+        return 1  # the only way is the next victim by definition
+    from repro.core.permutation import derive_spec_from_policy
+
+    spec = derive_spec_from_policy(policy)
+    if spec is not None:
+        return mls_metric_spec(spec)
+
+    # Initial states: every reachable full state, after the target way
+    # was just touched, and after the target was just filled on a miss.
+    prototypes: dict = {}
+    start_states = []
+    for state in reachable_full_states(policy):
+        for way in range(ways):
+            touched = state.clone()
+            touched.touch(way)
+            start_states.append((touched, way))
+        missed = state.clone()
+        victim = missed.evict()
+        missed.fill(victim)
+        start_states.append((missed, victim))
+
+    def register(policy_state: ReplacementPolicy):
+        key = policy_state.state_key()
+        if key not in prototypes:
+            prototypes[key] = policy_state
+        return key
+
+    queue: deque = deque()
+    seen = set()
+    for policy_state, target_way in start_states:
+        labels = tuple(
+            TARGET if way == target_way else OLD for way in range(ways)
+        )
+        node = (register(policy_state), labels)
+        if node not in seen:
+            seen.add(node)
+            queue.append((node, 0))
+
+    while queue:
+        (policy_key, labels), depth = queue.popleft()
+        base = prototypes[policy_key]
+        successors = []
+        # Adversary move 1: a miss with a fresh block.
+        missed = base.clone()
+        victim = missed.evict()
+        missed.fill(victim)
+        if labels[victim] == TARGET:
+            # Breadth-first order makes the first eviction the minimum.
+            return depth + 1
+        miss_labels = list(labels)
+        miss_labels[victim] = CLAIMED
+        successors.append((missed, tuple(miss_labels)))
+        # Adversary move 2: a hit on any unclaimed non-target block.
+        for way, label in enumerate(labels):
+            if label == OLD:
+                claimed = base.clone()
+                claimed.touch(way)
+                hit_labels = list(labels)
+                hit_labels[way] = CLAIMED
+                successors.append((claimed, tuple(hit_labels)))
+        for policy_state, new_labels in successors:
+            node = (register(policy_state), new_labels)
+            if node not in seen:
+                if len(seen) >= max_states:
+                    raise ConfigurationError(
+                        f"mls search exceeded {max_states} states"
+                    )
+                seen.add(node)
+                queue.append((node, depth + 1))
+    return None  # the target can never be evicted (would be odd)
+
+
+def generic_analysis(
+    program: Program,
+    config: CacheConfig,
+    policy: ReplacementPolicy,
+) -> AnalysisResult:
+    """Sound must/may classification of ``program`` under any policy.
+
+    Uses the LRU domains with the policy's mls as the must bound and its
+    evict metric as the may bound.  Falls back to "no guarantees"
+    (capacity 1 / never-absent) when a metric is unbounded.
+    """
+    if policy.ways != config.ways:
+        raise ConfigurationError(
+            f"policy is {policy.ways}-way but the cache has {config.ways} ways"
+        )
+    mls = mls_metric_policy(policy)
+    evict = evict_metric_policy(policy) if policy.DETERMINISTIC else None
+    must_capacity = mls if mls is not None else 1
+    # The may bound must cover the worst case; an unbounded evict metric
+    # means absence can never be concluded, approximated by a bound the
+    # program cannot reach.
+    may_capacity = evict if evict is not None else 1 << 30
+    return analyze(
+        program, config, capacity=must_capacity, may_capacity=may_capacity
+    )

@@ -1,0 +1,144 @@
+"""A miniature program model for static cache analysis.
+
+WCET-style cache analyses run on a control-flow graph whose basic blocks
+carry the memory accesses the compiler extracted.  This module provides
+exactly that much structure:
+
+* :class:`BasicBlock` — a named straight-line region with a list of
+  accessed line addresses;
+* :class:`Program` — blocks plus directed edges and an entry block;
+* builders for the common shapes (sequences, loops, diamonds) so tests
+  and experiments can compose programs declaratively;
+* :meth:`Program.random_paths` — concrete executions used to check the
+  analysis' soundness against simulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A straight-line sequence of memory accesses."""
+
+    name: str
+    accesses: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("basic blocks need a name")
+        if any(address < 0 for address in self.accesses):
+            raise ConfigurationError("negative access address")
+
+
+@dataclass
+class Program:
+    """A control-flow graph of basic blocks."""
+
+    blocks: dict[str, BasicBlock]
+    edges: dict[str, tuple[str, ...]]  # successors per block name
+    entry: str
+    exits: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.entry not in self.blocks:
+            raise ConfigurationError(f"entry block {self.entry!r} does not exist")
+        for source, targets in self.edges.items():
+            if source not in self.blocks:
+                raise ConfigurationError(f"edge from unknown block {source!r}")
+            for target in targets:
+                if target not in self.blocks:
+                    raise ConfigurationError(f"edge to unknown block {target!r}")
+        if not self.exits:
+            self.exits = tuple(
+                name for name in self.blocks if not self.edges.get(name)
+            )
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        """Successor block names of ``name``."""
+        return self.edges.get(name, ())
+
+    def predecessors(self, name: str) -> list[str]:
+        """Predecessor block names of ``name``."""
+        return [
+            source for source, targets in self.edges.items() if name in targets
+        ]
+
+    def access_points(self) -> list[tuple[str, int, int]]:
+        """Every (block, index, address) access site of the program."""
+        return [
+            (name, index, address)
+            for name, block in self.blocks.items()
+            for index, address in enumerate(block.accesses)
+        ]
+
+    def random_paths(
+        self, count: int, max_steps: int = 200, seed: int = 0
+    ) -> list[list[str]]:
+        """Sample concrete block-level paths (for soundness testing)."""
+        rng = SeededRng(seed)
+        paths = []
+        for _ in range(count):
+            path = [self.entry]
+            current = self.entry
+            for _ in range(max_steps):
+                successors = self.successors(current)
+                if not successors:
+                    break
+                current = rng.choice(successors)
+                path.append(current)
+            paths.append(path)
+        return paths
+
+
+def straight_line(access_lists: Sequence[Sequence[int]]) -> Program:
+    """A linear chain of blocks B0 -> B1 -> ... -> Bn."""
+    if not access_lists:
+        raise ConfigurationError("need at least one block")
+    blocks = {
+        f"B{index}": BasicBlock(f"B{index}", tuple(accesses))
+        for index, accesses in enumerate(access_lists)
+    }
+    edges = {
+        f"B{index}": (f"B{index + 1}",) for index in range(len(access_lists) - 1)
+    }
+    return Program(blocks=blocks, edges=edges, entry="B0")
+
+
+def simple_loop(
+    preheader: Sequence[int], body: Sequence[int], exit_accesses: Sequence[int] = ()
+) -> Program:
+    """``pre -> body -> (body | exit)`` — the canonical analysed loop."""
+    blocks = {
+        "pre": BasicBlock("pre", tuple(preheader)),
+        "body": BasicBlock("body", tuple(body)),
+        "exit": BasicBlock("exit", tuple(exit_accesses)),
+    }
+    edges = {"pre": ("body",), "body": ("body", "exit")}
+    return Program(blocks=blocks, edges=edges, entry="pre")
+
+
+def diamond(
+    before: Sequence[int],
+    then_accesses: Sequence[int],
+    else_accesses: Sequence[int],
+    after: Sequence[int],
+) -> Program:
+    """An if/then/else: ``before -> (then | else) -> after``."""
+    blocks = {
+        "before": BasicBlock("before", tuple(before)),
+        "then": BasicBlock("then", tuple(then_accesses)),
+        "else": BasicBlock("else", tuple(else_accesses)),
+        "after": BasicBlock("after", tuple(after)),
+    }
+    edges = {
+        "before": ("then", "else"),
+        "then": ("after",),
+        "else": ("after",),
+    }
+    return Program(blocks=blocks, edges=edges, entry="before")

@@ -1,0 +1,22 @@
+"""Set-associative cache simulation: single levels and hierarchies."""
+
+from repro.cache.address import AddressCodec, DecomposedAddress
+from repro.cache.cache import Cache, CacheAccessResult
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy, HierarchyAccessResult
+from repro.cache.set import CacheSet, SetAccessResult
+from repro.cache.stats import CacheStats, HierarchyStats
+
+__all__ = [
+    "AddressCodec",
+    "DecomposedAddress",
+    "Cache",
+    "CacheAccessResult",
+    "CacheConfig",
+    "CacheHierarchy",
+    "HierarchyAccessResult",
+    "CacheSet",
+    "SetAccessResult",
+    "CacheStats",
+    "HierarchyStats",
+]

@@ -1,0 +1,194 @@
+"""Command line interface: ``repro-cache``.
+
+Subcommands mirror the library's two halves:
+
+* ``list-processors`` / ``list-policies`` — inventory;
+* ``infer`` — reverse engineer one cache of a simulated processor;
+* ``evaluate`` — miss-ratio table of policies over the workload suite;
+* ``predictability`` — evict/fill metrics table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.cache import CacheConfig
+from repro.core import SimulatedSetOracle, VotingOracle, reverse_engineer, run_query
+from repro.errors import ReproError
+from repro.eval.missratio import miss_ratio_matrix
+from repro.eval.predictability import predictability_of_policy
+from repro.hardware import (
+    PROCESSORS,
+    HardwarePlatform,
+    HardwareSetOracle,
+    NoiseModel,
+    get_processor,
+)
+from repro.policies import available_policies, make_policy
+from repro.util.tables import format_table
+from repro.workloads import workload_suite
+
+
+def _cmd_list_processors(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(PROCESSORS):
+        spec = PROCESSORS[name]
+        levels = "; ".join(level.config.describe() for level in spec.levels)
+        rows.append([name, spec.description, levels])
+    print(format_table(["processor", "description", "levels"], rows))
+    return 0
+
+
+def _cmd_list_policies(args: argparse.Namespace) -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    spec = get_processor(args.processor)
+    if args.noise > 0:
+        spec = type(spec)(
+            name=spec.name,
+            description=spec.description,
+            levels=spec.levels,
+            page_size=spec.page_size,
+            noise=NoiseModel(counter_noise_rate=args.noise),
+        )
+    platform = HardwarePlatform(spec, seed=args.seed)
+    oracle = HardwareSetOracle(platform, args.level)
+    if args.repetitions > 1:
+        oracle = VotingOracle(oracle, repetitions=args.repetitions)
+    finding = reverse_engineer(oracle)
+    print(f"processor : {spec.name}")
+    print(f"level     : {args.level} ({platform.level_config(args.level).describe()})")
+    print(f"finding   : {finding.summary()}")
+    print(f"cost      : {finding.measurements} measurements, {finding.accesses} accesses")
+    if finding.spec is not None:
+        print(finding.spec.describe())
+    if args.check:
+        truth = spec.ground_truth[args.level]
+        ok = finding.policy_name == truth
+        print(f"ground truth: {truth} -> {'MATCH' if ok else 'MISMATCH'}")
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    config = CacheConfig("eval", args.size, args.ways, args.line_size)
+    cache_lines = config.num_sets * config.ways
+    traces = workload_suite(cache_lines, seed=args.seed)
+    policies = args.policies.split(",")
+    matrix = miss_ratio_matrix(traces, config, policies, seed=args.seed)
+    print(format_table(["workload"] + matrix.policies(), matrix.rows(),
+                       title=f"miss ratios @ {config.describe()}"))
+    return 0
+
+
+def _cmd_predictability(args: argparse.Namespace) -> int:
+    rows = []
+    for name in args.policies.split(","):
+        policy = make_policy(name, args.ways)
+        try:
+            result = predictability_of_policy(name, policy)
+        except ReproError as error:
+            rows.append([name, args.ways, "-", "-", str(error)])
+            continue
+        rows.append(
+            [
+                name,
+                args.ways,
+                result.evict if result.evict is not None else "unbounded",
+                result.fill if result.fill is not None else "unbounded",
+                "",
+            ]
+        )
+    print(format_table(["policy", "ways", "evict", "fill", "note"], rows))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.processor:
+        platform = HardwarePlatform(get_processor(args.processor), seed=args.seed)
+        oracle = HardwareSetOracle(platform, args.level)
+    else:
+        oracle = SimulatedSetOracle(make_policy(args.policy, args.ways))
+    print(run_query(oracle, args.sequence))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Reverse engineer and evaluate cache replacement policies",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-processors", help="show the simulated processor catalog")
+    sub.add_parser("list-policies", help="show the policy registry")
+
+    infer = sub.add_parser("infer", help="reverse engineer one cache level")
+    infer.add_argument("--processor", required=True, choices=sorted(PROCESSORS))
+    infer.add_argument("--level", default="L1")
+    infer.add_argument("--noise", type=float, default=0.0,
+                       help="counter noise rate per access")
+    infer.add_argument("--repetitions", type=int, default=1,
+                       help="majority-vote repetitions per measurement")
+    infer.add_argument("--seed", type=int, default=0)
+    infer.add_argument("--check", action="store_true",
+                       help="compare against the catalog ground truth")
+
+    evaluate = sub.add_parser("evaluate", help="miss-ratio table over the workload suite")
+    evaluate.add_argument("--policies", default="lru,fifo,plru,bitplru,srrip,random")
+    evaluate.add_argument("--size", type=int, default=32 * 1024)
+    evaluate.add_argument("--ways", type=int, default=8)
+    evaluate.add_argument("--line-size", type=int, default=64)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    predict = sub.add_parser("predictability", help="evict/fill metrics table")
+    predict.add_argument("--policies", default="lru,fifo,plru,bitplru,nru")
+    predict.add_argument("--ways", type=int, default=4)
+
+    query = sub.add_parser(
+        "query",
+        help="run an access-sequence query (CacheQuery notation)",
+        description='Example: repro-cache query --policy plru --ways 4 "a b c d 2*@ a?"',
+    )
+    query.add_argument("sequence", help="query string, e.g. 'a b a? c?'")
+    query.add_argument("--policy", default="lru",
+                       help="simulated policy to query (ignored with --processor)")
+    query.add_argument("--ways", type=int, default=4)
+    query.add_argument("--processor", choices=sorted(PROCESSORS), default=None,
+                       help="query a catalog processor instead of a bare policy")
+    query.add_argument("--level", default="L1")
+    query.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "list-processors": _cmd_list_processors,
+    "list-policies": _cmd_list_policies,
+    "infer": _cmd_infer,
+    "evaluate": _cmd_evaluate,
+    "predictability": _cmd_predictability,
+    "query": _cmd_query,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-cache`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Detection of adaptive (set-dueling) replacement.
+
+The paper's examined processors end at Ivy Bridge, whose L3 was later
+shown to *adapt*: a few leader sets run fixed component policies and a
+counter steers the remaining follower sets (DIP/DRRIP style).  Such a
+cache breaks the core assumption that every set implements one fixed
+deterministic policy — and the measurable symptoms are exactly:
+
+* different sets identify as *different* policies, and/or
+* some sets behave *nondeterministically* (bimodal insertion draws
+  randomness), so repeated identical measurements disagree.
+
+This module turns those symptoms into a detector:
+
+1. :func:`detect_nondeterminism` repeats one fixed measurement and
+   reports whether the counts vary;
+2. :class:`AdaptivitySurvey` samples several sets of one cache level,
+   classifies each (named policy / nondeterministic / unknown), and
+   reports whether the level is adaptive along with the suspected
+   leader sets.
+
+Experiment E9 runs the survey against a simulated DIP L3 and checks that
+the true leader sets are flagged.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.identify import CandidateIdentification, IdentificationConfig
+from repro.core.oracle import MissCountOracle
+
+
+def detect_nondeterminism(
+    oracle: MissCountOracle,
+    ways: int,
+    trials: int = 6,
+    probe_length: int = 40,
+    seed: int = 0,
+) -> bool:
+    """Repeat one fixed measurement; True if the counts disagree.
+
+    The probe mixes establishment blocks with fresh blocks so that
+    insertion-position randomness (BIP/BRRIP) shows up as varying miss
+    counts.  A deterministic policy on noise-free hardware must return
+    the same count every time.
+    """
+    rng = random.Random(seed)
+    setup = [10_000 + i for i in range(2 * ways)] + list(range(ways))
+    pool = list(range(ways)) + [20_000 + i for i in range(ways)]
+    probe = [rng.choice(pool) for _ in range(probe_length)]
+    counts = {oracle.count_misses(setup, probe) for _ in range(trials)}
+    return len(counts) > 1
+
+
+@dataclass(frozen=True)
+class SetClassification:
+    """What one sampled set looked like."""
+
+    set_index: int
+    #: "named" (identified deterministic policy), "nondeterministic",
+    #: or "unknown" (deterministic but matching no candidate).
+    kind: str
+    policy_name: str | None
+
+
+@dataclass(frozen=True)
+class AdaptivityReport:
+    """Survey outcome over the sampled sets of one cache level."""
+
+    level: str
+    classifications: tuple[SetClassification, ...]
+
+    @property
+    def adaptive(self) -> bool:
+        """True when the sets do not all behave like one fixed policy."""
+        kinds = {c.kind for c in self.classifications}
+        names = {c.policy_name for c in self.classifications if c.kind == "named"}
+        return len(kinds) > 1 or len(names) > 1
+
+    @property
+    def fixed_policy(self) -> str | None:
+        """The single policy name if the level is not adaptive."""
+        if self.adaptive:
+            return None
+        named = [c.policy_name for c in self.classifications if c.kind == "named"]
+        return named[0] if named else None
+
+    def suspected_leaders(self) -> list[SetClassification]:
+        """Sets whose behaviour differs from the majority.
+
+        In a set-dueling design the follower sets dominate any uniform
+        sample, so minority classifications point at leader sets (or at
+        the component the followers are currently steered away from).
+        """
+        from collections import Counter
+
+        keys = [(c.kind, c.policy_name) for c in self.classifications]
+        majority_key = Counter(keys).most_common(1)[0][0]
+        return [
+            c
+            for c in self.classifications
+            if (c.kind, c.policy_name) != majority_key
+        ]
+
+    def summary(self) -> str:
+        """One-line verdict for tables."""
+        if not self.adaptive:
+            policy = self.fixed_policy or "unidentified"
+            return f"fixed policy: {policy}"
+        leaders = ", ".join(str(c.set_index) for c in self.suspected_leaders())
+        return f"ADAPTIVE (deviating sets: {leaders})"
+
+
+class AdaptivitySurvey:
+    """Classify several sets of one level and detect set dueling."""
+
+    def __init__(
+        self,
+        oracle_factory: Callable[[int], MissCountOracle],
+        ways: int,
+        level: str = "cache",
+        identification_config: IdentificationConfig | None = None,
+        nondeterminism_trials: int = 6,
+    ) -> None:
+        """``oracle_factory(set_index)`` must build a set-targeted oracle."""
+        self._factory = oracle_factory
+        self.ways = ways
+        self.level = level
+        self._config = identification_config or IdentificationConfig(
+            screening_sequences=25, validation_sequences=10
+        )
+        self._trials = nondeterminism_trials
+
+    def classify_set(self, set_index: int) -> SetClassification:
+        """Classify one set: nondeterministic / named policy / unknown."""
+        oracle = self._factory(set_index)
+        if detect_nondeterminism(oracle, self.ways, trials=self._trials):
+            return SetClassification(set_index, "nondeterministic", None)
+        result = CandidateIdentification(oracle, self.ways, config=self._config).identify()
+        if result.succeeded:
+            return SetClassification(set_index, "named", result.name)
+        return SetClassification(set_index, "unknown", None)
+
+    def survey(self, set_indices: Sequence[int]) -> AdaptivityReport:
+        """Classify the given sets and assemble the report."""
+        classifications = tuple(self.classify_set(index) for index in set_indices)
+        return AdaptivityReport(level=self.level, classifications=classifications)

@@ -1,0 +1,49 @@
+"""Matching inferred permutation specs against known policies.
+
+The paper reports its findings as "this cache implements PLRU" or "this
+is a previously undocumented policy with these vectors".  This module
+provides the lookup: derive the specs of the classic policies at the
+relevant associativity and compare the inferred spec against them up to
+observational equivalence.
+"""
+
+from __future__ import annotations
+
+from repro.core.permutation import derive_spec_from_policy, equivalent
+from repro.policies import (
+    FifoPolicy,
+    LruPolicy,
+    PermutationSpec,
+    PlruPolicy,
+)
+from repro.util.bits import is_power_of_two
+
+_KNOWN_CACHE: dict[int, dict[str, PermutationSpec]] = {}
+
+
+def known_specs(ways: int) -> dict[str, PermutationSpec]:
+    """Specs of the named permutation policies at associativity ``ways``.
+
+    Currently LRU, FIFO, and (for power-of-two associativities) tree
+    PLRU — the permutation policies with established names.  Results are
+    cached per associativity.
+    """
+    if ways not in _KNOWN_CACHE:
+        table: dict[str, PermutationSpec] = {}
+        prototypes = {"lru": LruPolicy(ways), "fifo": FifoPolicy(ways)}
+        if is_power_of_two(ways):
+            prototypes["plru"] = PlruPolicy(ways)
+        for name, policy in prototypes.items():
+            spec = derive_spec_from_policy(policy)
+            assert spec is not None, f"{name} must derive as a permutation policy"
+            table[name] = spec
+        _KNOWN_CACHE[ways] = table
+    return _KNOWN_CACHE[ways]
+
+
+def name_spec(spec: PermutationSpec) -> str | None:
+    """Return the established name of ``spec``, or None if undocumented."""
+    for name, known in known_specs(spec.ways).items():
+        if equivalent(spec, known):
+            return name
+    return None

@@ -1,0 +1,148 @@
+"""Measurement oracles: the only window inference has onto a cache.
+
+The paper's algorithms never see replacement state; they run access
+sequences and read a miss counter.  :class:`MissCountOracle` captures
+exactly that capability.  One *measurement* is
+
+    ``count_misses(setup, probe) -> number of probe misses``
+
+where ``setup`` is run first (uncounted, used to establish a state) and
+``probe`` is the counted part.  Every measurement starts from an
+equivalent fresh environment, mirroring how the paper restarts each
+experiment; sequences are lists of abstract *block ids*, each id denoting
+a distinct memory block mapping to the probed cache set.
+
+Implementations:
+
+* :class:`SimulatedSetOracle` — wraps a single simulated :class:`CacheSet`
+  (white-box substrate, zero noise).  Used for unit tests, algorithm
+  development and the cost experiments.
+* :class:`HardwareSetOracle` — lives in :mod:`repro.hardware.harness`;
+  drives a full simulated platform through virtual memory and performance
+  counters, including the L1-defeating access patterns needed to probe
+  L2/L3.
+* :class:`VotingOracle` — repeats measurements and takes a per-sequence
+  majority vote, the paper's defence against counter noise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.errors import MeasurementError
+from repro.policies import ReplacementPolicy
+from repro.cache.set import CacheSet
+
+
+class MissCountOracle(ABC):
+    """Counts the misses a probe sequence suffers in one cache set."""
+
+    #: Associativity if known to the experimenter, else None (must be inferred).
+    ways: int | None = None
+
+    @abstractmethod
+    def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
+        """Run ``setup`` then ``probe`` from a fresh state; count probe misses."""
+
+    #: Number of measurements performed (for the cost evaluation).
+    measurements: int = 0
+    #: Total accesses issued across all measurements.
+    accesses: int = 0
+
+    def reset_cost(self) -> None:
+        """Zero the measurement cost counters."""
+        self.measurements = 0
+        self.accesses = 0
+
+
+class SimulatedSetOracle(MissCountOracle):
+    """Oracle over a single simulated cache set.
+
+    Each measurement gets a freshly reset clone of the prototype policy,
+    so measurements are independent, as on rebooted hardware.
+    """
+
+    def __init__(self, policy: ReplacementPolicy, expose_ways: bool = True) -> None:
+        self._prototype = policy
+        self.ways = policy.ways if expose_ways else None
+        self.measurements = 0
+        self.accesses = 0
+
+    def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
+        policy = self._prototype.clone()
+        policy.reset()
+        cache_set = CacheSet(policy.ways, policy)
+        for block in setup:
+            cache_set.access(block)
+        misses = 0
+        for block in probe:
+            if not cache_set.access(block).hit:
+                misses += 1
+        self.measurements += 1
+        self.accesses += len(setup) + len(probe)
+        return misses
+
+
+class VotingOracle(MissCountOracle):
+    """Repeated-measurement wrapper that makes a noisy oracle reliable.
+
+    Repeats every measurement ``repetitions`` times and aggregates:
+
+    * ``"majority"`` (default) — the most common count.  Right when noise
+      is rare per measurement (short probes).
+    * ``"min"`` — the smallest count.  Right when noise is strictly
+      additive (spurious events only ever *add* miss counts, which is how
+      performance-counter pollution behaves), and the best choice for
+      longer probes where a perfectly clean run is the rarity.
+    * ``"median"`` — robust middle ground for symmetric disturbances.
+
+    Experiment E6 quantifies the difference.
+    """
+
+    AGGREGATES = ("majority", "min", "median")
+
+    def __init__(
+        self, inner: MissCountOracle, repetitions: int = 5, aggregate: str = "majority"
+    ) -> None:
+        if repetitions < 1:
+            raise MeasurementError("repetitions must be >= 1")
+        if aggregate not in self.AGGREGATES:
+            raise MeasurementError(
+                f"unknown aggregate {aggregate!r}; known: {self.AGGREGATES}"
+            )
+        self._inner = inner
+        self.repetitions = repetitions
+        self.aggregate = aggregate
+        self.ways = inner.ways
+
+    def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
+        counts = [
+            self._inner.count_misses(setup, probe) for _ in range(self.repetitions)
+        ]
+        if self.aggregate == "min":
+            return min(counts)
+        if self.aggregate == "median":
+            return sorted(counts)[len(counts) // 2]
+        return Counter(counts).most_common(1)[0][0]
+
+    @property
+    def measurements(self) -> int:  # type: ignore[override]
+        return self._inner.measurements
+
+    @measurements.setter
+    def measurements(self, value: int) -> None:
+        # The base class assigns this attribute in __init__; delegate.
+        self._inner.measurements = value
+
+    @property
+    def accesses(self) -> int:  # type: ignore[override]
+        return self._inner.accesses
+
+    @accesses.setter
+    def accesses(self, value: int) -> None:
+        self._inner.accesses = value
+
+    def reset_cost(self) -> None:
+        self._inner.reset_cost()

@@ -1,0 +1,142 @@
+"""A tiny access-sequence query language (CacheQuery style).
+
+The follow-up tooling to the paper (CacheQuery) popularised a notation
+for talking to one cache set: a query is a whitespace-separated list of
+block names; a ``?`` suffix marks the accesses whose hit/miss outcome
+should be reported.
+
+    >>> from repro.core import SimulatedSetOracle
+    >>> from repro.policies import LruPolicy
+    >>> run_query(SimulatedSetOracle(LruPolicy(2)), "a b a? c b?")
+    'a=hit b=miss'
+
+Semantics:
+
+* block names are arbitrary identifiers; equal names mean equal blocks;
+* an optional ``N*`` repetition prefix expands a group: ``3*x`` is
+  ``x x x`` and ``2*( a b )`` is ``a b a b``;
+* ``!`` suffix establishes a fresh-block barrier: ``@!`` is sugar for a
+  never-before-used block (each occurrence of ``@`` is a distinct fresh
+  block, so ``@ @ @`` touches three new blocks);
+* outcomes are measured through any :class:`MissCountOracle` by
+  replaying the prefix for every marked access, so queries work against
+  simulated sets and simulated hardware alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.oracle import MissCountOracle
+from repro.errors import InferenceError
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed query: block ids plus which positions are probed."""
+
+    blocks: tuple[int, ...]
+    probed: tuple[int, ...]  # indices into blocks
+    names: tuple[str, ...]  # display name per access
+
+
+class QueryParseError(InferenceError):
+    """The query string is malformed."""
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse the query notation into block ids and probe positions."""
+    tokens = _expand(_tokenize(text))
+    blocks: list[int] = []
+    probed: list[int] = []
+    names: list[str] = []
+    ids: dict[str, int] = {}
+    fresh_counter = 0
+    for token in tokens:
+        probe = token.endswith("?")
+        if probe:
+            token = token[:-1]
+        if not token:
+            raise QueryParseError("empty block name")
+        if token == "@":
+            block = 1_000_000 + fresh_counter
+            fresh_counter += 1
+            display = f"@{fresh_counter}"
+        else:
+            if not token.replace("_", "").isalnum():
+                raise QueryParseError(f"bad block name {token!r}")
+            if token not in ids:
+                ids[token] = len(ids)
+            block = ids[token]
+            display = token
+        if probe:
+            probed.append(len(blocks))
+        blocks.append(block)
+        names.append(display)
+    if not blocks:
+        raise QueryParseError("empty query")
+    return ParsedQuery(tuple(blocks), tuple(probed), tuple(names))
+
+
+def _tokenize(text: str) -> list[str]:
+    # Make parentheses standalone tokens, then split on whitespace.
+    spaced = text.replace("(", " ( ").replace(")", " ) ")
+    return [token for token in spaced.split() if token]
+
+
+def _expand(tokens: list[str]) -> list[str]:
+    """Expand ``N*token`` and ``N*( group )`` repetitions."""
+    result: list[str] = []
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if "*" in token and token.split("*", 1)[0].isdigit():
+            count_text, rest = token.split("*", 1)
+            count = int(count_text)
+            if count < 1:
+                raise QueryParseError(f"repetition count must be >= 1 in {token!r}")
+            if rest == "" and index + 1 < len(tokens) and tokens[index + 1] == "(":
+                depth = 1
+                group: list[str] = []
+                scan = index + 2
+                while scan < len(tokens) and depth > 0:
+                    if tokens[scan] == "(":
+                        depth += 1
+                    elif tokens[scan] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    group.append(tokens[scan])
+                    scan += 1
+                if depth != 0:
+                    raise QueryParseError("unbalanced parentheses")
+                result.extend(_expand(group) * count)
+                index = scan + 1
+                continue
+            if rest:
+                result.extend([rest] * count)
+                index += 1
+                continue
+            raise QueryParseError(f"dangling repetition {token!r}")
+        if token in ("(", ")"):
+            raise QueryParseError("parentheses are only valid after 'N*'")
+        result.append(token)
+        index += 1
+    return result
+
+
+def run_query(oracle: MissCountOracle, text: str) -> str:
+    """Execute a query and report each probed access as hit or miss.
+
+    Every probed access is measured in its own run (replay the prefix,
+    count the single probe access), which is exactly how the inference
+    algorithms observe individual outcomes through a miss counter.
+    """
+    query = parse_query(text)
+    outcomes = []
+    for position in query.probed:
+        prefix = list(query.blocks[:position])
+        misses = oracle.count_misses(prefix, [query.blocks[position]])
+        outcome = "miss" if misses > 0 else "hit"
+        outcomes.append(f"{query.names[position]}={outcome}")
+    return " ".join(outcomes)

@@ -1,0 +1,104 @@
+"""End-to-end reverse engineering driver and result reporting.
+
+:func:`reverse_engineer` glues the pipeline together the way the paper's
+toolchain does per cache:
+
+1. run permutation inference;
+2. if it yields a verified spec, try to match it to a known policy name;
+3. otherwise fall back to candidate-set identification;
+4. package everything into a :class:`PolicyFinding` suitable for the
+   per-processor tables of experiment E1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.identify import CandidateIdentification, IdentificationConfig
+from repro.core.inference import InferenceConfig, PermutationInference
+from repro.core.naming import name_spec
+from repro.core.oracle import MissCountOracle
+from repro.policies import PermutationSpec
+
+
+@dataclass(frozen=True)
+class PolicyFinding:
+    """The reverse-engineered identity of one cache."""
+
+    ways: int
+    #: "permutation" when the permutation-inference pipeline succeeded,
+    #: "candidate" when elimination identified the policy, "unknown" else.
+    method: str
+    #: Established policy name, or None when undocumented/unidentified.
+    policy_name: str | None
+    #: The inferred vectors when the policy is a permutation policy.
+    spec: PermutationSpec | None
+    measurements: int
+    accesses: int
+    detail: str = ""
+
+    @property
+    def identified(self) -> bool:
+        """True when the cache's policy was pinned down."""
+        return self.method != "unknown"
+
+    def summary(self) -> str:
+        """One-line rendering for tables, e.g. ``plru (permutation)``."""
+        if self.method == "permutation":
+            label = self.policy_name or "undocumented permutation policy"
+            return f"{label} (permutation)"
+        if self.method == "candidate":
+            return f"{self.policy_name} (candidate)"
+        return f"unidentified: {self.detail}"
+
+
+def reverse_engineer(
+    oracle: MissCountOracle,
+    ways: int | None = None,
+    inference_config: InferenceConfig | None = None,
+    identification_config: IdentificationConfig | None = None,
+) -> PolicyFinding:
+    """Fully reverse engineer the cache behind ``oracle``.
+
+    ``ways`` may be omitted if the oracle knows it or if it should be
+    inferred from measurements.
+    """
+    inference = PermutationInference(oracle, ways=ways, config=inference_config)
+    result = inference.infer()
+    if result.succeeded:
+        assert result.spec is not None
+        return PolicyFinding(
+            ways=result.ways,
+            method="permutation",
+            policy_name=name_spec(result.spec),
+            spec=result.spec,
+            measurements=result.measurements,
+            accesses=result.accesses,
+        )
+
+    permutation_cost = (result.measurements, result.accesses)
+    identification = CandidateIdentification(
+        oracle, result.ways, config=identification_config
+    )
+    ident = identification.identify()
+    measurements = permutation_cost[0] + ident.measurements
+    accesses = permutation_cost[1] + ident.accesses
+    if ident.succeeded:
+        return PolicyFinding(
+            ways=result.ways,
+            method="candidate",
+            policy_name=ident.name,
+            spec=None,
+            measurements=measurements,
+            accesses=accesses,
+            detail=f"survivors: {', '.join(ident.survivors)}",
+        )
+    return PolicyFinding(
+        ways=result.ways,
+        method="unknown",
+        policy_name=None,
+        spec=None,
+        measurements=measurements,
+        accesses=accesses,
+        detail=result.failure_reason or "no candidate matched",
+    )

@@ -1,0 +1,65 @@
+"""Empirical relative competitiveness between policies.
+
+Competitive analysis asks by what factor a policy's miss count can
+exceed another's.  Exact competitive ratios require worst-case adversary
+constructions; for the evaluation tables we estimate the *empirical*
+ratio over a family of random traces — the worst and mean observed
+``misses(P) / misses(Q)`` — which is how the paper contextualises the
+performance impact of the policies it discovers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.cache import CacheConfig
+from repro.eval.missratio import simulate_trace
+from repro.policies import PolicyFactory
+from repro.util.stats import geomean
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class CompetitivenessResult:
+    """Observed miss-count ratios of ``policy`` relative to ``baseline``."""
+
+    policy: str
+    baseline: str
+    worst_ratio: float
+    best_ratio: float
+    geomean_ratio: float
+    traces_evaluated: int
+
+
+def relative_competitiveness(
+    policy: str | PolicyFactory,
+    baseline: str | PolicyFactory,
+    traces: Sequence[Trace],
+    config: CacheConfig,
+    seed: int = 0,
+) -> CompetitivenessResult:
+    """Estimate miss-count ratios of ``policy`` vs ``baseline``.
+
+    Traces on which the baseline never misses are skipped (the ratio is
+    undefined there); at least one usable trace is required.
+    """
+    policy_name = policy if isinstance(policy, str) else policy.name
+    baseline_name = baseline if isinstance(baseline, str) else baseline.name
+    ratios = []
+    for trace in traces:
+        policy_misses = simulate_trace(trace, config, policy, seed).misses
+        baseline_misses = simulate_trace(trace, config, baseline, seed).misses
+        if baseline_misses == 0:
+            continue
+        ratios.append(max(policy_misses, 1) / baseline_misses)
+    if not ratios:
+        raise ValueError("baseline missed on no trace; ratios undefined")
+    return CompetitivenessResult(
+        policy=policy_name,
+        baseline=baseline_name,
+        worst_ratio=max(ratios),
+        best_ratio=min(ratios),
+        geomean_ratio=geomean(ratios),
+        traces_evaluated=len(ratios),
+    )

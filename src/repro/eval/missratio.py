@@ -1,0 +1,175 @@
+"""Miss-ratio evaluation of replacement policies.
+
+The performance half of the paper's evaluation: run workload traces
+through caches configured with each policy and compare miss ratios.
+Provides single runs, (policy x workload) matrices and cache-size sweeps
+— the data behind experiments E3 and E4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.cache import Cache, CacheConfig, CacheStats
+from repro.policies import PolicyFactory
+from repro.util.rng import SeededRng
+from repro.workloads.trace import Trace
+
+
+def simulate_trace(
+    trace: Trace,
+    config: CacheConfig,
+    policy: str | PolicyFactory,
+    seed: int = 0,
+) -> CacheStats:
+    """Run a trace through a fresh cache; return its statistics."""
+    cache = Cache(config, policy, rng=SeededRng(seed))
+    for address in trace:
+        cache.access(address)
+    return cache.stats.snapshot()
+
+
+def miss_ratio(
+    trace: Trace,
+    config: CacheConfig,
+    policy: str | PolicyFactory,
+    seed: int = 0,
+) -> float:
+    """Miss ratio of one policy on one trace."""
+    return simulate_trace(trace, config, policy, seed).miss_ratio
+
+
+@dataclass(frozen=True)
+class MissRatioCell:
+    """One (policy, trace) measurement."""
+
+    policy: str
+    trace: str
+    miss_ratio: float
+    misses: int
+    accesses: int
+
+
+@dataclass(frozen=True)
+class MissRatioMatrix:
+    """Miss ratios of several policies across several traces."""
+
+    config: CacheConfig
+    cells: tuple[MissRatioCell, ...]
+
+    def ratio(self, policy: str, trace: str) -> float:
+        """Look up one cell's miss ratio."""
+        for cell in self.cells:
+            if cell.policy == policy and cell.trace == trace:
+                return cell.miss_ratio
+        raise KeyError(f"no cell for policy={policy!r} trace={trace!r}")
+
+    def policies(self) -> list[str]:
+        """Policy names, in first-seen order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.policy not in seen:
+                seen.append(cell.policy)
+        return seen
+
+    def traces(self) -> list[str]:
+        """Trace names, in first-seen order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.trace not in seen:
+                seen.append(cell.trace)
+        return seen
+
+    def rows(self) -> list[list[object]]:
+        """Render as table rows: one row per trace, one column per policy."""
+        result = []
+        for trace in self.traces():
+            row: list[object] = [trace]
+            for policy in self.policies():
+                row.append(self.ratio(policy, trace))
+            result.append(row)
+        return result
+
+    def relative_to(self, baseline: str) -> "MissRatioMatrix":
+        """Divide every cell by the baseline policy's cell per trace.
+
+        Traces on which the baseline has zero misses keep an absolute 1.0
+        for the baseline and report ``inf``-free ratios by treating the
+        baseline as one miss (conservative, documented in EXPERIMENTS.md).
+        """
+        cells = []
+        for trace in self.traces():
+            base = self.ratio(baseline, trace)
+            for policy in self.policies():
+                cell_ratio = self.ratio(policy, trace)
+                denominator = base if base > 0 else 1.0 / max(
+                    1, next(c.accesses for c in self.cells if c.trace == trace)
+                )
+                cells.append(
+                    MissRatioCell(
+                        policy=policy,
+                        trace=trace,
+                        miss_ratio=cell_ratio / denominator,
+                        misses=0,
+                        accesses=0,
+                    )
+                )
+        return MissRatioMatrix(config=self.config, cells=tuple(cells))
+
+
+def miss_ratio_matrix(
+    traces: Sequence[Trace],
+    config: CacheConfig,
+    policies: Sequence[str | PolicyFactory],
+    seed: int = 0,
+) -> MissRatioMatrix:
+    """Evaluate every policy on every trace at one cache configuration."""
+    cells = []
+    for policy in policies:
+        name = policy if isinstance(policy, str) else policy.name
+        for trace in traces:
+            stats = simulate_trace(trace, config, policy, seed)
+            cells.append(
+                MissRatioCell(
+                    policy=name,
+                    trace=trace.name,
+                    miss_ratio=stats.miss_ratio,
+                    misses=stats.misses,
+                    accesses=stats.accesses,
+                )
+            )
+    return MissRatioMatrix(config=config, cells=tuple(cells))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (policy, cache size) measurement of a size sweep."""
+
+    policy: str
+    cache_size: int
+    miss_ratio: float
+
+
+def cache_size_sweep(
+    trace: Trace,
+    sizes: Sequence[int],
+    policies: Sequence[str | PolicyFactory],
+    ways: int = 8,
+    line_size: int = 64,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Miss ratio of each policy at several cache sizes (experiment E4)."""
+    points = []
+    for size in sizes:
+        config = CacheConfig("sweep", size, ways, line_size)
+        for policy in policies:
+            name = policy if isinstance(policy, str) else policy.name
+            points.append(
+                SweepPoint(
+                    policy=name,
+                    cache_size=size,
+                    miss_ratio=miss_ratio(trace, config, policy, seed),
+                )
+            )
+    return points

@@ -1,0 +1,298 @@
+"""Predictability metrics of replacement policies.
+
+The second half of the paper's evaluation asks how *analysable* the
+reverse-engineered policies are for worst-case execution time analysis,
+using the metrics of Reineke et al.:
+
+* **evict** — the smallest number of accesses to pairwise distinct
+  blocks after which the cache is *guaranteed* to contain only blocks
+  from the accessed sequence, no matter the initial state and no matter
+  which of the accessed blocks happened to be cached already (an old
+  block that one of the accesses aliases becomes part of the known
+  contents).  Small evict = fast "may" information for WCET analysis.
+* **fill** — the smallest number of such accesses after which the cache
+  state is *completely known*.  We compute it as ``evict + collapse``,
+  where ``collapse`` is how many further guaranteed misses force every
+  possible policy state into the same state (exactly A for standard-miss
+  permutation policies, whose miss behaviour is a forced shift).
+
+Both are computed exactly by an adversarial longest-path search: the
+analyst picks the number of accesses, an adversary picks the initial
+state and which accesses alias still-cached old blocks (each old block
+can be claimed at most once because accesses are pairwise distinct).  A
+reachable cycle that still contains old blocks means the metric is
+unbounded (reported as ``None``), which is the correct verdict for
+random replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.policies import PermutationSpec, ReplacementPolicy
+from repro.policies.permutation import apply_permutation
+
+OLD_FRESH = "O"  # unknown old block; the analysis goal is to clear these
+# A claimed old block (hit by one of the distinct accesses) becomes part
+# of the known contents, indistinguishable from a newly inserted block
+# for the purposes of the metric, so both share one label.
+NEW = "N"
+
+_UNBOUNDED = object()
+
+
+class _GameUnbounded(Exception):
+    """Raised internally when the adversary can stall forever."""
+
+
+def _search(initial_states, moves_of, max_states: int) -> int | None:
+    """Longest adversary-controlled path until no old blocks remain.
+
+    ``moves_of(state)`` yields successor states; terminal states (no old
+    labels) have value 0.  Returns None when a cycle keeps old blocks
+    alive forever.
+    """
+    values: dict = {}
+    ON_STACK = _UNBOUNDED  # sentinel reused as the "in progress" marker
+
+    def value(state) -> int:
+        known = values.get(state)
+        if known is ON_STACK:
+            raise _GameUnbounded
+        if known is not None:
+            return known
+        if len(values) > max_states:
+            raise ConfigurationError(
+                f"predictability search exceeded {max_states} states"
+            )
+        successors = list(moves_of(state))
+        if not successors:
+            values[state] = 0
+            return 0
+        values[state] = ON_STACK
+        best = 1 + max(value(next_state) for next_state in successors)
+        values[state] = best
+        return best
+
+    try:
+        return max(value(state) for state in initial_states)
+    except _GameUnbounded:
+        return None
+
+
+def evict_metric_spec(spec: PermutationSpec, max_states: int = 300_000) -> int | None:
+    """Exact evict metric of a permutation policy.
+
+    Positions abstract away the ways, so the game state is simply the
+    label of each position (3^A states) and there is a single initial
+    state: every position old.
+    """
+    ways = spec.ways
+
+    def moves_of(labels: tuple[str, ...]):
+        if OLD_FRESH not in labels:
+            return
+        # A miss: evict last position's label, relocate the rest, insert NEW.
+        relocated = list(labels)
+        relocated[ways - 1] = NEW
+        yield tuple(apply_permutation(relocated, spec.miss_perm))
+        # A hit claiming any still-unknown old block.
+        for position, label in enumerate(labels):
+            if label == OLD_FRESH:
+                claimed = list(labels)
+                claimed[position] = NEW
+                yield tuple(apply_permutation(claimed, spec.hit_perms[position]))
+
+    return _search([tuple([OLD_FRESH] * ways)], moves_of, max_states)
+
+
+def reachable_full_states(policy: ReplacementPolicy, max_states: int = 100_000) -> list:
+    """All policy states reachable once the set has filled up.
+
+    Starts from the state after the cold fill of all ways (in ascending
+    way order, matching :class:`~repro.cache.set.CacheSet`) and closes
+    under hits on any way and miss/fill cycles.
+    """
+    start = policy.clone()
+    start.reset()
+    for way in range(policy.ways):
+        start.fill(way)
+    frontier = [start]
+    seen = {start.state_key()}
+    states = [start]
+    while frontier:
+        current = frontier.pop()
+        successors = []
+        for way in range(policy.ways):
+            touched = current.clone()
+            touched.touch(way)
+            successors.append(touched)
+        missed = current.clone()
+        victim = missed.evict()
+        missed.fill(victim)
+        successors.append(missed)
+        for successor in successors:
+            key = successor.state_key()
+            if key not in seen:
+                if len(seen) >= max_states:
+                    raise ConfigurationError(
+                        f"policy has more than {max_states} reachable states"
+                    )
+                seen.add(key)
+                states.append(successor)
+                frontier.append(successor)
+    return states
+
+
+def evict_metric_policy(policy: ReplacementPolicy, max_states: int = 300_000) -> int | None:
+    """Exact evict metric of an arbitrary deterministic policy.
+
+    The game state pairs the policy state with a per-way label; the
+    adversary additionally chooses the initial policy state among all
+    reachable full-set states.
+    """
+    if not policy.DETERMINISTIC:
+        return None  # e.g. random replacement: eviction can never be forced
+    ways = policy.ways
+    reachable = reachable_full_states(policy)
+    # Keep concrete policy objects out of the memo key but reachable for
+    # transition computation: rebuild successors with clones on the fly.
+    prototypes = {state.state_key(): state for state in reachable}
+
+    def moves_of(state):
+        policy_key, labels = state
+        if OLD_FRESH not in labels:
+            return
+        base = prototypes[policy_key]
+        missed = base.clone()
+        victim = missed.evict()
+        missed.fill(victim)
+        miss_labels = list(labels)
+        miss_labels[victim] = NEW
+        yield _register(missed, tuple(miss_labels))
+        for way, label in enumerate(labels):
+            if label == OLD_FRESH:
+                claimed = base.clone()
+                claimed.touch(way)
+                hit_labels = list(labels)
+                hit_labels[way] = NEW
+                yield _register(claimed, tuple(hit_labels))
+
+    def _register(policy_state: ReplacementPolicy, labels):
+        key = policy_state.state_key()
+        if key not in prototypes:
+            prototypes[key] = policy_state
+        return (key, labels)
+
+    initial_states = [
+        (key, tuple([OLD_FRESH] * ways)) for key in prototypes
+    ]
+    return _search(initial_states, moves_of, max_states)
+
+
+def collapse_depth_spec(spec: PermutationSpec) -> int:
+    """Misses needed to force a known state for a permutation policy.
+
+    For the standard miss permutation this is exactly A: every miss
+    inserts at a fixed position and shifts deterministically, so A
+    consecutive guaranteed misses determine the position of every block.
+    General miss permutations converge once every position has been
+    visited by an insertion, bounded by A * A (or never, for
+    non-thrashable miss permutations).
+    """
+    ways = spec.ways
+    position = spec.insertion_position
+    visited = {position}
+    for step in range(1, ways * ways + 1):
+        position = spec.miss_perm[position]
+        visited.add(position)
+        if len(visited) == ways:
+            return step + 1
+    return ways  # standard-miss specs exit through the loop; keep a floor
+
+
+def collapse_depth_policy(policy: ReplacementPolicy, horizon_factor: int = 4) -> int | None:
+    """Misses after which all reachable policy states coincide.
+
+    Simulates ``m`` consecutive miss/fill cycles from every reachable
+    full-set state and finds the smallest ``m`` (up to ``horizon_factor
+    * ways``) where both the policy states and the orders in which the
+    last ``ways`` fills happened agree; returns None if never.
+    """
+    if not policy.DETERMINISTIC:
+        return None
+    states = reachable_full_states(policy)
+    horizon = horizon_factor * policy.ways
+    current = [(state.clone(), ()) for state in states]
+    for step in range(1, horizon + 1):
+        advanced = []
+        for state, fills in current:
+            victim = state.evict()
+            state.fill(victim)
+            advanced.append((state, (fills + (victim,))[-policy.ways :]))
+        current = advanced
+        signatures = {(state.state_key(), fills) for state, fills in current}
+        if len(signatures) == 1 and step >= policy.ways:
+            return step
+    return None
+
+
+@dataclass(frozen=True)
+class PredictabilityResult:
+    """The predictability metrics of one policy.
+
+    ``evict``/``fill`` are None when the metric is unbounded (note
+    "unbounded"), when the policy is randomized (note "randomized"), or
+    when the exact game was too large (note "state budget exceeded").
+    """
+
+    policy: str
+    ways: int
+    evict: int | None
+    fill: int | None
+    note: str = ""
+
+    @staticmethod
+    def na(policy: str, ways: int, note: str = "randomized") -> "PredictabilityResult":
+        """A not-analysable result (e.g. random replacement)."""
+        return PredictabilityResult(policy=policy, ways=ways, evict=None, fill=None, note=note)
+
+
+def predictability_of_spec(name: str, spec: PermutationSpec) -> PredictabilityResult:
+    """evict/fill for a permutation policy given by its spec."""
+    evict = evict_metric_spec(spec)
+    fill = None if evict is None else evict + collapse_depth_spec(spec)
+    note = "unbounded" if evict is None else ""
+    return PredictabilityResult(policy=name, ways=spec.ways, evict=evict, fill=fill, note=note)
+
+
+def predictability_of_policy(name: str, policy: ReplacementPolicy) -> PredictabilityResult:
+    """evict/fill for an arbitrary deterministic policy implementation.
+
+    Permutation policies are analysed through their derived spec, whose
+    abstract positions factor out way symmetry (a way-labeled collapse
+    check would wrongly report unbounded fill for LRU: the block-to-way
+    assignment stays unknown, but the observable state does collapse).
+    Other policies are analysed in way space, where their victim choice
+    genuinely depends on way indices.
+    """
+    if not policy.DETERMINISTIC:
+        return PredictabilityResult.na(name, policy.ways)
+    from repro.core.permutation import derive_spec_from_policy
+
+    spec = derive_spec_from_policy(policy)
+    if spec is not None:
+        return predictability_of_spec(name, spec)
+    try:
+        evict = evict_metric_policy(policy)
+        collapse = collapse_depth_policy(policy)
+    except ConfigurationError:
+        return PredictabilityResult.na(name, policy.ways, note="state budget exceeded")
+    fill = None if evict is None or collapse is None else evict + collapse
+    note = ""
+    if evict is None:
+        note = "unbounded"
+    elif fill is None:
+        note = "fill unbounded"
+    return PredictabilityResult(policy=name, ways=policy.ways, evict=evict, fill=fill, note=note)

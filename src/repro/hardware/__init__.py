@@ -1,0 +1,25 @@
+"""Simulated measurement hardware: platforms, counters, memory, harness."""
+
+from repro.hardware.catalog import PROCESSORS, LevelSpec, ProcessorSpec, get_processor
+from repro.hardware.counters import EVENTS, CounterBank
+from repro.hardware.harness import HardwareSetOracle, MeasurementHarness
+from repro.hardware.memory import HUGE_PAGE_SIZE, VirtualBuffer, VirtualMemory
+from repro.hardware.noise import NO_NOISE, NoiseModel
+from repro.hardware.platform import HardwarePlatform
+
+__all__ = [
+    "PROCESSORS",
+    "LevelSpec",
+    "ProcessorSpec",
+    "get_processor",
+    "CounterBank",
+    "EVENTS",
+    "HardwareSetOracle",
+    "MeasurementHarness",
+    "VirtualMemory",
+    "VirtualBuffer",
+    "HUGE_PAGE_SIZE",
+    "NoiseModel",
+    "NO_NOISE",
+    "HardwarePlatform",
+]

@@ -1,0 +1,157 @@
+"""Catalog of simulated processors.
+
+The paper measures real Intel machines (Core 2 Duo, Atom, Nehalem, Sandy
+Bridge, Ivy Bridge generations).  We have no such hardware, so each
+catalog entry is a *simulated stand-in*: the cache geometries follow the
+real parts, while the replacement policies are hidden ground truth drawn
+from this library's policy zoo — including the policy kinds the paper
+reports (tree PLRU in first-level caches, LRU/FIFO, and the bit/age-based
+policies of later L2/L3 designs).
+
+The reverse-engineering experiments treat the ground truth as unknown:
+only the measurement interface of :class:`~repro.hardware.platform.
+HardwarePlatform` is used, and E1 afterwards compares the findings
+against :attr:`ProcessorSpec.ground_truth` — which is precisely what the
+simulation substitution buys us: on real hardware the paper could only
+argue consistency, here correctness is checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigurationError
+from repro.hardware.memory import HUGE_PAGE_SIZE
+from repro.hardware.noise import NO_NOISE, NoiseModel
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One cache level of a processor: geometry plus hidden policy."""
+
+    config: CacheConfig
+    policy: str
+    policy_params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A named, fully specified simulated processor."""
+
+    name: str
+    description: str
+    levels: tuple[LevelSpec, ...]
+    page_size: int = HUGE_PAGE_SIZE
+    noise: NoiseModel = NO_NOISE
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("a processor needs at least one cache level")
+
+    @property
+    def ground_truth(self) -> dict[str, str]:
+        """Map of level name to the hidden policy name (for validation)."""
+        return {level.config.name: level.policy for level in self.levels}
+
+    def level(self, name: str) -> LevelSpec:
+        """Return the level called ``name``."""
+        for level in self.levels:
+            if level.config.name == name:
+                return level
+        raise KeyError(f"no level named {name!r} in {self.name}")
+
+
+def _l1(size_kib: int = 32, ways: int = 8, policy: str = "plru") -> LevelSpec:
+    return LevelSpec(CacheConfig("L1", size_kib * 1024, ways), policy)
+
+
+PROCESSORS: dict[str, ProcessorSpec] = {
+    spec.name: spec
+    for spec in (
+        ProcessorSpec(
+            name="core2-e6300-like",
+            description="Core 2 Duo class: PLRU L1, PLRU L2 (2 MiB, 8-way)",
+            levels=(
+                _l1(),
+                LevelSpec(CacheConfig("L2", 2 * 1024 * 1024, 8, inclusion="nine"), "plru"),
+            ),
+        ),
+        ProcessorSpec(
+            name="core2-e6750-like",
+            description="Core 2 Duo class: PLRU L1, large 16-way L2 running LRU",
+            levels=(
+                _l1(),
+                LevelSpec(CacheConfig("L2", 4 * 1024 * 1024, 16, inclusion="nine"), "lru"),
+            ),
+        ),
+        ProcessorSpec(
+            name="atom-d525-like",
+            description="In-order Atom class: 6-way L1 LRU, 8-way L2 FIFO",
+            levels=(
+                LevelSpec(CacheConfig("L1", 24 * 1024, 6), "lru"),
+                LevelSpec(CacheConfig("L2", 512 * 1024, 8, inclusion="nine"), "fifo"),
+            ),
+        ),
+        ProcessorSpec(
+            name="nehalem-like",
+            description="Nehalem class: PLRU L1/L2, inclusive 16-way L3 on NRU",
+            levels=(
+                _l1(),
+                LevelSpec(CacheConfig("L2", 256 * 1024, 8, inclusion="nine"), "plru"),
+                LevelSpec(
+                    CacheConfig("L3", 8 * 1024 * 1024, 16, inclusion="inclusive"), "nru"
+                ),
+            ),
+        ),
+        ProcessorSpec(
+            name="sandybridge-like",
+            description="Sandy Bridge class: PLRU L1/L2, inclusive L3 on bit-PLRU",
+            levels=(
+                _l1(),
+                LevelSpec(CacheConfig("L2", 256 * 1024, 8, inclusion="nine"), "plru"),
+                LevelSpec(
+                    CacheConfig("L3", 2 * 1024 * 1024, 16, inclusion="inclusive"), "bitplru"
+                ),
+            ),
+        ),
+        ProcessorSpec(
+            name="haswell-adaptive-like",
+            # The L3 is kept at a realistic 8 MiB: an undersized inclusive
+            # LLC lets the measurement pool of an L2 probe alias into a
+            # handful of L3 sets, and back-invalidations then corrupt the
+            # L2 measurements — the same interference the paper fought.
+            description="Haswell class: PLRU L1/L2, adaptive set-dueling L3 (DIP)",
+            levels=(
+                _l1(),
+                LevelSpec(CacheConfig("L2", 256 * 1024, 8, inclusion="nine"), "plru"),
+                LevelSpec(
+                    CacheConfig("L3", 8 * 1024 * 1024, 16, inclusion="inclusive"), "dip"
+                ),
+            ),
+        ),
+        ProcessorSpec(
+            name="ivybridge-like",
+            description="Ivy Bridge class: PLRU L1, quad-age L2 and L3 (QLRU family)",
+            levels=(
+                _l1(),
+                LevelSpec(
+                    CacheConfig("L2", 256 * 1024, 8, inclusion="nine"), "qlru_h00_m2"
+                ),
+                LevelSpec(
+                    CacheConfig("L3", 2 * 1024 * 1024, 16, inclusion="inclusive"),
+                    "qlru_h11_m1",
+                ),
+            ),
+        ),
+    )
+}
+
+
+def get_processor(name: str) -> ProcessorSpec:
+    """Look up a catalog processor by name."""
+    try:
+        return PROCESSORS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(PROCESSORS))
+        raise KeyError(f"unknown processor {name!r}; known: {known}") from exc

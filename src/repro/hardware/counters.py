@@ -1,0 +1,57 @@
+"""Simulated performance counters.
+
+A :class:`CounterBank` exposes the per-level event counts of a cache
+hierarchy the way ``perf`` exposes ``MEM_LOAD_RETIRED.*`` events: monotone
+counters that can be sampled before and after a code region.  Counter
+noise (spurious events) is added by the platform at access time, so a
+noisy counter is indistinguishable from the real thing to the inference
+algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.errors import MeasurementError
+
+EVENTS = ("access", "hit", "miss")
+
+
+class CounterBank:
+    """Monotone per-level event counters over a hierarchy."""
+
+    def __init__(self, hierarchy: CacheHierarchy) -> None:
+        self._hierarchy = hierarchy
+        # Spurious event counts injected by the platform's noise model.
+        self._spurious: dict[tuple[str, str], int] = {}
+
+    def inject_spurious(self, level: str, event: str, count: int = 1) -> None:
+        """Add ``count`` spurious events to a counter (noise injection)."""
+        key = (level, event)
+        self._spurious[key] = self._spurious.get(key, 0) + count
+
+    def read(self, level: str, event: str) -> int:
+        """Current value of the ``event`` counter of cache ``level``."""
+        if event not in EVENTS:
+            raise MeasurementError(f"unknown event {event!r}; known: {EVENTS}")
+        try:
+            stats = self._hierarchy.level(level).stats
+        except KeyError as exc:
+            raise MeasurementError(str(exc)) from exc
+        true_value = {
+            "access": stats.accesses,
+            "hit": stats.hits,
+            "miss": stats.misses,
+        }[event]
+        return true_value + self._spurious.get((level, event), 0)
+
+    def snapshot(self) -> dict[tuple[str, str], int]:
+        """Sample every counter at once."""
+        return {
+            (level, event): self.read(level, event)
+            for level in self._hierarchy.level_names
+            for event in EVENTS
+        }
+
+    def delta(self, level: str, event: str, before: dict[tuple[str, str], int]) -> int:
+        """Events since ``before`` (a :meth:`snapshot` result)."""
+        return self.read(level, event) - before[(level, event)]

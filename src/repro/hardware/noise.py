@@ -1,0 +1,65 @@
+"""Measurement noise models for the simulated platform.
+
+On real hardware the paper's measurements are polluted by at least two
+mechanisms, both reproduced here:
+
+* **counter noise** — performance counters over-count: speculative loads,
+  TLB walks and interrupts add spurious miss events that never touched
+  the probed set.  Modelled as an independent per-access probability of
+  one spurious miss count per level (no cache state impact).
+* **prefetcher noise** — the hardware prefetcher issues real extra
+  accesses (modelled as next-line prefetches with a per-access
+  probability).  These *do* change cache state, though next-line
+  prefetches land in the neighbouring set and therefore rarely corrupt a
+  set-targeted measurement — which is exactly why the paper's technique
+  survives on machines whose prefetchers cannot be disabled.
+* **background noise** — interrupts and other processes touch memory of
+  their own (modelled as accesses to a private noise region at a
+  per-access probability).  Unlike counter noise these pollute *state*:
+  they occasionally land in the probed set and genuinely change the
+  replacement metadata, the hardest noise class the paper faces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Noise intensity of a simulated platform.
+
+    Attributes:
+        counter_noise_rate: probability, per performed access and per
+            cache level, of one spurious miss count.
+        prefetch_rate: probability, per performed load, of a next-line
+            prefetch access being issued as well.
+    """
+
+    counter_noise_rate: float = 0.0
+    prefetch_rate: float = 0.0
+    background_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("counter_noise_rate", self.counter_noise_rate),
+            ("prefetch_rate", self.prefetch_rate),
+            ("background_rate", self.background_rate),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{label} must be in [0, 1], got {value}")
+
+    @property
+    def silent(self) -> bool:
+        """True when the model adds no noise at all."""
+        return (
+            self.counter_noise_rate == 0.0
+            and self.prefetch_rate == 0.0
+            and self.background_rate == 0.0
+        )
+
+
+#: Noise-free measurements (ideal hardware).
+NO_NOISE = NoiseModel()

@@ -1,0 +1,77 @@
+"""Set dueling, the leader-set mechanism shared by DIP and DRRIP.
+
+A :class:`DuelController` designates a small number of *leader sets* for
+each of two component policies.  Leader sets always run their component;
+every miss in a leader set nudges a saturating counter (PSEL) towards the
+other component.  All remaining *follower sets* run whichever component
+the counter currently favours.  (Qureshi et al., ISCA 2007.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class DuelController:
+    """PSEL counter plus leader-set assignment for one cache.
+
+    Args:
+        num_sets: number of sets in the cache (>= 1).
+        leaders_per_policy: leader sets dedicated to each component.
+        psel_bits: width of the saturating selector counter.
+    """
+
+    def __init__(self, num_sets: int, leaders_per_policy: int = 4, psel_bits: int = 10) -> None:
+        if num_sets < 1:
+            raise ConfigurationError("num_sets must be >= 1")
+        if psel_bits < 1:
+            raise ConfigurationError("psel_bits must be >= 1")
+        self.num_sets = num_sets
+        self.psel_max = (1 << psel_bits) - 1
+        self.psel_mid = 1 << (psel_bits - 1)
+        self._psel = self.psel_mid
+        # Interleave leaders across the index space: even slots lead for the
+        # primary component, odd slots for the secondary one.
+        leaders = min(leaders_per_policy, max(1, num_sets // 2))
+        stride = max(1, num_sets // (2 * leaders))
+        self._primary_leaders = frozenset((2 * i * stride) % num_sets for i in range(leaders))
+        self._secondary_leaders = frozenset(
+            ((2 * i + 1) * stride) % num_sets for i in range(leaders)
+        ) - self._primary_leaders
+
+    def reset(self) -> None:
+        """Reset the selector to its neutral midpoint."""
+        self._psel = self.psel_mid
+
+    def is_primary_leader(self, set_index: int) -> bool:
+        """Return True if ``set_index`` always runs the primary policy."""
+        return set_index in self._primary_leaders
+
+    def is_secondary_leader(self, set_index: int) -> bool:
+        """Return True if ``set_index`` always runs the secondary policy."""
+        return set_index in self._secondary_leaders
+
+    def record_miss(self, set_index: int) -> None:
+        """Account a miss; only leader-set misses move the selector.
+
+        A miss in a primary leader is evidence against the primary policy,
+        so it moves the selector towards the secondary component, and vice
+        versa.
+        """
+        if set_index in self._primary_leaders:
+            self._psel = min(self.psel_max, self._psel + 1)
+        elif set_index in self._secondary_leaders:
+            self._psel = max(0, self._psel - 1)
+
+    def use_primary(self, set_index: int) -> bool:
+        """Return True if ``set_index`` should currently run the primary."""
+        if set_index in self._primary_leaders:
+            return True
+        if set_index in self._secondary_leaders:
+            return False
+        return self._psel < self.psel_mid
+
+    @property
+    def psel(self) -> int:
+        """Current selector value (low favours the primary policy)."""
+        return self._psel

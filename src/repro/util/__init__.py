@@ -1,0 +1,22 @@
+"""Small shared utilities: bit manipulation, RNG, statistics, tables."""
+
+from repro.util.bits import is_power_of_two, ilog2, mask, extract_bits
+from repro.util.rng import SeededRng
+from repro.util.stats import mean, geomean, median, stdev, summarize, Summary
+from repro.util.tables import format_table, format_markdown_table
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "mask",
+    "extract_bits",
+    "SeededRng",
+    "mean",
+    "geomean",
+    "median",
+    "stdev",
+    "summarize",
+    "Summary",
+    "format_table",
+    "format_markdown_table",
+]

@@ -1,0 +1,33 @@
+"""Bit-manipulation helpers used by address decomposition and set indexing."""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Return log2 of a positive power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def mask(width: int) -> int:
+    """Return a bitmask of ``width`` low bits (``mask(3) == 0b111``)."""
+    if width < 0:
+        raise ValueError("mask width must be non-negative")
+    return (1 << width) - 1
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``."""
+    if low < 0 or width < 0:
+        raise ValueError("bit positions must be non-negative")
+    return (value >> low) & mask(width)

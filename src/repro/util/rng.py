@@ -1,0 +1,73 @@
+"""Seeded random number generation.
+
+Every stochastic component of the library (random replacement, noise
+models, workload generators) draws randomness through :class:`SeededRng`
+so that experiments are reproducible end to end from a single integer
+seed.  Independent components should use :meth:`SeededRng.fork` to obtain
+decorrelated child streams instead of sharing one generator, so that
+adding draws in one component does not perturb another.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A deterministic random stream with support for forking substreams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, label: str) -> "SeededRng":
+        """Derive an independent child stream identified by ``label``.
+
+        The child seed depends only on the parent seed and the label, not
+        on how many values the parent has produced, which keeps components
+        decoupled.
+        """
+        child_seed = hash((self.seed, label)) & 0xFFFFFFFF
+        return SeededRng(child_seed)
+
+    def randint(self, low: int, high: int) -> int:
+        """Return a uniform integer in the inclusive range [low, high]."""
+        return self._random.randint(low, high)
+
+    def randrange(self, stop: int) -> int:
+        """Return a uniform integer in [0, stop)."""
+        return self._random.randrange(stop)
+
+    def random(self) -> float:
+        """Return a uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Return a uniform choice from a non-empty sequence."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle a list in place."""
+        self._random.shuffle(items)
+
+    def sample(self, items: Sequence[T], count: int) -> list[T]:
+        """Return ``count`` distinct items sampled without replacement."""
+        return self._random.sample(items, count)
+
+    def permutation(self, size: int) -> tuple[int, ...]:
+        """Return a uniformly random permutation of range(size)."""
+        order = list(range(size))
+        self._random.shuffle(order)
+        return tuple(order)
+
+    def expovariate(self, rate: float) -> float:
+        """Return an exponentially distributed float with the given rate."""
+        return self._random.expovariate(rate)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Return a normally distributed float."""
+        return self._random.gauss(mu, sigma)

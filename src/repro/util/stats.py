@@ -1,0 +1,79 @@
+"""Tiny statistics helpers for experiment reporting.
+
+Kept dependency-free on purpose: benchmark harnesses import this module,
+and keeping it to the standard library means benchmark timings are not
+distorted by heavyweight imports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of a non-empty sequence of positive values."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for sequences of length < 2)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number style summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} median={self.median:.4g} "
+            f"sd={self.stdev:.4g} min={self.minimum:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Return a :class:`Summary` of a non-empty sequence."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        median=median(values),
+        stdev=stdev(values),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,39 @@
+"""Workload traces: generators, stack-distance tools, app models."""
+
+from repro.workloads.generators import (
+    cyclic_loop,
+    hot_cold,
+    pointer_chase,
+    random_uniform,
+    sequential_scan,
+    strided,
+    zipf,
+)
+from repro.workloads.stackdist import (
+    INFINITE,
+    StackDistanceModel,
+    lru_miss_ratio_from_histogram,
+    stack_distance_histogram,
+    stack_distances,
+)
+from repro.workloads.synthetic import APP_MODELS, AppModel, workload_suite
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "Trace",
+    "sequential_scan",
+    "cyclic_loop",
+    "random_uniform",
+    "zipf",
+    "strided",
+    "pointer_chase",
+    "hot_cold",
+    "stack_distances",
+    "stack_distance_histogram",
+    "lru_miss_ratio_from_histogram",
+    "StackDistanceModel",
+    "INFINITE",
+    "APP_MODELS",
+    "AppModel",
+    "workload_suite",
+]

@@ -1,0 +1,132 @@
+"""Phased synthetic application models — the SPEC substitution.
+
+The paper's performance evaluation replays SPEC benchmark traces, which
+are not redistributable.  Each :class:`AppModel` below composes the
+elementary generators into a multi-phase synthetic application whose
+locality structure imitates a class of SPEC behaviour (streaming,
+loop-nest-heavy, pointer-chasing, skewed-reuse, and mixtures).  DESIGN.md
+documents this substitution; EXPERIMENTS.md compares the resulting
+policy *orderings* with the paper's, which is the reproducible part —
+absolute miss ratios are workload properties, not policy properties.
+
+Models are deliberately parameterised by a target cache size class so
+experiments can scale the footprints relative to the cache under test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.workloads.stackdist import StackDistanceModel
+from repro.workloads.generators import (
+    cyclic_loop,
+    hot_cold,
+    pointer_chase,
+    random_uniform,
+    sequential_scan,
+    zipf,
+)
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """A named synthetic application."""
+
+    name: str
+    description: str
+    build: Callable[[int, int], Trace]  # (cache_lines, seed) -> Trace
+
+    def trace(self, cache_lines: int, seed: int = 0) -> Trace:
+        """Instantiate the model against a cache of ``cache_lines`` lines."""
+        trace = self.build(cache_lines, seed)
+        return Trace(name=self.name, addresses=trace.addresses)
+
+
+def _streaming(cache_lines: int, seed: int) -> Trace:
+    # Footprint 4x the cache: pure streaming, like stream/libquantum.
+    return sequential_scan(4 * cache_lines, passes=6)
+
+
+def _loop_friendly(cache_lines: int, seed: int) -> Trace:
+    # Working set comfortably inside the cache, like small loop nests.
+    return cyclic_loop(max(4, cache_lines // 2), iterations=24)
+
+
+def _loop_thrashing(cache_lines: int, seed: int) -> Trace:
+    # Working set just above the cache: the classic LRU pathological case
+    # where insertion policies (LIP/BIP/DIP) shine, like some SPEC loops.
+    return cyclic_loop(cache_lines + max(1, cache_lines // 8), iterations=24)
+
+
+def _pointer_chasing(cache_lines: int, seed: int) -> Trace:
+    # Random cyclic traversal over twice the cache, like mcf.
+    return pointer_chase(2 * cache_lines, length=24 * cache_lines, seed=seed)
+
+
+def _skewed(cache_lines: int, seed: int) -> Trace:
+    # Zipf reuse over 8x the cache, like gcc/perl-style code+data mixes.
+    return zipf(8 * cache_lines, length=24 * cache_lines, alpha=1.1, seed=seed)
+
+
+def _hot_cold(cache_lines: int, seed: int) -> Trace:
+    # Small hot set plus cold scans, like database-ish kernels.
+    return hot_cold(
+        hot_lines=max(4, cache_lines // 4),
+        cold_lines=8 * cache_lines,
+        length=24 * cache_lines,
+        hot_fraction=0.85,
+        seed=seed,
+    )
+
+
+def _scan_interference(cache_lines: int, seed: int) -> Trace:
+    # A resident loop periodically disturbed by streaming scans: the
+    # motivating workload for scan-resistant policies (DIP, RRIP).
+    loop = cyclic_loop(max(4, cache_lines // 2), iterations=4)
+    scan = sequential_scan(2 * cache_lines, passes=1, base=1 << 30)
+    phases = loop
+    for _ in range(5):
+        phases = phases.concat(scan).concat(loop)
+    return phases
+
+
+def _stackdist_mix(cache_lines: int, seed: int) -> Trace:
+    # A reuse profile specified directly as stack distances: mostly very
+    # short reuse, a band around half the cache, and a cold tail --
+    # resembling integer SPEC mixes when only their profile is known.
+    near = max(1, cache_lines // 16)
+    mid = max(2, cache_lines // 2)
+    model = StackDistanceModel(
+        distance_weights=[(0, 30.0), (near, 25.0), (mid, 20.0)],
+        new_line_weight=10.0,
+        seed=seed,
+    )
+    return model.generate(24 * cache_lines, name="stackdist-mix")
+
+
+def _random_noise(cache_lines: int, seed: int) -> Trace:
+    # Uniform random over 4x the cache: little any policy can do.
+    return random_uniform(4 * cache_lines, length=24 * cache_lines, seed=seed)
+
+
+APP_MODELS: dict[str, AppModel] = {
+    model.name: model
+    for model in (
+        AppModel("streaming", "sequential scans, footprint 4x cache", _streaming),
+        AppModel("loop-friendly", "loop working set inside the cache", _loop_friendly),
+        AppModel("loop-thrashing", "loop working set just above the cache", _loop_thrashing),
+        AppModel("pointer-chasing", "random cyclic traversal, 2x cache", _pointer_chasing),
+        AppModel("skewed", "zipf-distributed reuse, 8x cache", _skewed),
+        AppModel("hot-cold", "hot set plus cold background", _hot_cold),
+        AppModel("scan-interference", "resident loop disturbed by scans", _scan_interference),
+        AppModel("stackdist-mix", "profile-specified reuse distances", _stackdist_mix),
+        AppModel("random-noise", "uniform random, 4x cache", _random_noise),
+    )
+}
+
+
+def workload_suite(cache_lines: int, seed: int = 0) -> list[Trace]:
+    """Instantiate every application model for a given cache size."""
+    return [model.trace(cache_lines, seed) for model in APP_MODELS.values()]

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.policies import available_policies, make_policy
+
+#: Registry names of deterministic policies usable at any associativity.
+DETERMINISTIC_ANY_WAYS = [
+    name
+    for name in available_policies()
+    if name not in ("permutation", "plru", "random", "bip", "dip", "brrip", "drrip")
+]
+
+#: Deterministic policies that additionally require power-of-two ways.
+DETERMINISTIC_POW2_ONLY = ["plru"]
+
+#: Randomized policies (no state_key, need an rng).
+RANDOMIZED = ["random", "bip", "dip", "brrip", "drrip"]
+
+
+@pytest.fixture
+def l1_config() -> CacheConfig:
+    """A small L1-like configuration: 4 KiB, 4-way, 16 sets."""
+    return CacheConfig("L1", 4 * 1024, 4)
+
+
+@pytest.fixture
+def tiny_config() -> CacheConfig:
+    """A deliberately tiny cache: 512 B, 2-way, 4 sets."""
+    return CacheConfig("tiny", 512, 2)
+
+
+def all_deterministic_policies(ways: int):
+    """(name, policy) pairs for every deterministic policy at ``ways``."""
+    names = list(DETERMINISTIC_ANY_WAYS)
+    if ways & (ways - 1) == 0:
+        names += DETERMINISTIC_POW2_ONLY
+    return [(name, make_policy(name, ways)) for name in sorted(names)]

@@ -1,0 +1,129 @@
+"""Tests for fixpoint solving and access classification."""
+
+import pytest
+
+from repro.analysis import (
+    ALWAYS_HIT,
+    ALWAYS_MISS,
+    UNCLASSIFIED,
+    analyze,
+    check_soundness,
+    diamond,
+    simple_loop,
+    solve,
+    straight_line,
+)
+from repro.cache import CacheConfig
+
+CONFIG = CacheConfig("L1", 1024, 4)  # 4 sets, 4-way
+STRIDE = CONFIG.way_size
+
+
+class TestStraightLine:
+    def test_repeat_access_is_always_hit(self):
+        program = straight_line([[0x100, 0x100]])
+        result = analyze(program, CONFIG)
+        assert result.verdict_of("B0", 0) == ALWAYS_MISS  # cold
+        assert result.verdict_of("B0", 1) == ALWAYS_HIT
+
+    def test_conflicting_accesses_age_out(self):
+        accesses = [k * STRIDE for k in range(5)] + [0]
+        program = straight_line([accesses])
+        result = analyze(program, CONFIG)
+        assert result.verdict_of("B0", 5) == ALWAYS_MISS  # 0 was evicted
+
+
+class TestDiamond:
+    def test_must_requires_both_branches(self):
+        # Only the then-branch touches 0x40: after the join it is not
+        # guaranteed, but it may be cached -> unclassified.
+        program = diamond([0], [0x40], [0x80], [0x40])
+        result = analyze(program, CONFIG)
+        assert result.verdict_of("after", 0) == UNCLASSIFIED
+
+    def test_common_access_survives_join(self):
+        program = diamond([0x40], [0], [0x80], [0x40])
+        result = analyze(program, CONFIG)
+        assert result.verdict_of("after", 0) == ALWAYS_HIT
+
+    def test_untouched_line_is_always_miss(self):
+        program = diamond([0], [0x40], [0x80], [0xC0])
+        result = analyze(program, CONFIG)
+        assert result.verdict_of("after", 0) == ALWAYS_MISS
+
+
+class TestLoop:
+    def test_loop_body_reuse_unclassified_then_hit(self):
+        # body touches the same line every iteration: the first pass
+        # misses, later passes hit -> the single verdict is unclassified;
+        # but a line touched in the preheader is always-hit in the body.
+        program = simple_loop([0], [0, 0x40])
+        result = analyze(program, CONFIG)
+        assert result.verdict_of("body", 0) == ALWAYS_HIT
+        assert result.verdict_of("body", 1) == UNCLASSIFIED
+
+    def test_loop_thrashing_is_not_guaranteed(self):
+        # Five conflicting lines in a 4-way set can evict each other.
+        body = [k * STRIDE for k in range(5)]
+        program = simple_loop([], body)
+        result = analyze(program, CONFIG)
+        for index in range(5):
+            assert result.verdict_of("body", index) != ALWAYS_HIT
+
+
+class TestFixpoint:
+    def test_loop_reaches_fixpoint(self):
+        program = simple_loop([0], [0x40, 0x80])
+        states = solve(program, CONFIG, "must")
+        assert set(states) == {"pre", "body", "exit"}
+        # The preheader line stays guaranteed at the body entry.
+        assert states["body"].contains(0)
+
+    def test_unreachable_block_keeps_cold_state(self):
+        from repro.analysis import BasicBlock, Program
+
+        program = Program(
+            blocks={
+                "a": BasicBlock("a", (0,)),
+                "zombie": BasicBlock("zombie", (64,)),
+            },
+            edges={},
+            entry="a",
+        )
+        states = solve(program, CONFIG, "must")
+        assert states["zombie"].key() == ()
+
+
+class TestResultApi:
+    def test_counts_and_fraction(self):
+        program = straight_line([[0x100, 0x100, 0x140]])
+        result = analyze(program, CONFIG)
+        counts = result.counts()
+        assert counts[ALWAYS_HIT] == 1
+        assert counts[ALWAYS_MISS] == 2
+        assert result.guaranteed_hit_fraction == pytest.approx(1 / 3)
+
+    def test_unknown_site_raises(self):
+        program = straight_line([[0]])
+        result = analyze(program, CONFIG)
+        with pytest.raises(KeyError):
+            result.verdict_of("B0", 5)
+
+
+class TestSoundnessHarness:
+    def test_sound_on_loop(self):
+        program = simple_loop([0], [0, 0x40, 0x80])
+        result = analyze(program, CONFIG)
+        assert check_soundness(program, CONFIG, result, paths=30) == []
+
+    def test_detects_planted_violation(self):
+        from repro.analysis.classify import AccessClassification, AnalysisResult
+
+        program = straight_line([[0x100]])
+        bogus = AnalysisResult(
+            classifications=(
+                AccessClassification("B0", 0, 0x100, ALWAYS_HIT),
+            ),
+            capacity=4,
+        )
+        assert check_soundness(program, CONFIG, bogus, paths=1) != []

@@ -1,0 +1,118 @@
+"""Tests for the must/may abstract domains."""
+
+import pytest
+
+from repro.analysis import AbstractCacheState
+from repro.cache import CacheConfig
+from repro.errors import ConfigurationError
+
+CONFIG = CacheConfig("L1", 1024, 4)  # 4 sets, 4-way
+
+
+def must():
+    return AbstractCacheState.empty(CONFIG, "must")
+
+
+def may():
+    return AbstractCacheState.empty(CONFIG, "may")
+
+
+class TestMustDomain:
+    def test_access_brings_line_in_at_age_zero(self):
+        state = must()
+        state.access(0x100)
+        assert state.contains(0x100)
+        assert state.age_of(0x100) == 0
+
+    def test_same_line_offsets_coincide(self):
+        state = must()
+        state.access(0x100)
+        assert state.contains(0x13F)
+
+    def test_unknown_access_ages_everything_in_set(self):
+        state = must()
+        stride = CONFIG.way_size
+        state.access(0)
+        state.access(stride)  # same set, unknown age -> ages 0
+        assert state.age_of(0) == 1
+
+    def test_ages_saturate_out(self):
+        state = must()
+        stride = CONFIG.way_size
+        state.access(0)
+        for k in range(1, 5):
+            state.access(k * stride)
+        assert not state.contains(0)  # aged beyond associativity
+
+    def test_rejuvenation_does_not_age_older_lines(self):
+        state = must()
+        stride = CONFIG.way_size
+        state.access(0)
+        state.access(stride)
+        state.access(stride)  # re-access: age 0 already-younger unchanged
+        assert state.age_of(0) == 1
+
+    def test_join_is_intersection_with_max(self):
+        left, right = must(), must()
+        stride = CONFIG.way_size
+        left.access(0)
+        left.access(stride)  # ages: 0 -> 1, stride -> 0
+        right.access(0)  # ages: 0 -> 0
+        joined = left.join(right)
+        assert joined.age_of(0) == 1
+        assert not joined.contains(stride)
+
+    def test_different_sets_independent(self):
+        state = must()
+        state.access(0)
+        state.access(64)  # different set
+        assert state.age_of(0) == 0
+
+
+class TestMayDomain:
+    def test_join_is_union_with_min(self):
+        left, right = may(), may()
+        stride = CONFIG.way_size
+        left.access(0)
+        left.access(stride)
+        right.access(0)
+        joined = left.join(right)
+        assert joined.contains(stride)
+        assert joined.age_of(0) == 0  # min(1, 0)
+
+    def test_line_leaves_only_after_enough_distinct_accesses(self):
+        state = may()
+        stride = CONFIG.way_size
+        state.access(0)
+        for k in range(1, 4):
+            state.access(k * stride)
+        assert state.contains(0)  # 3 distinct: may still be cached
+        state.access(4 * stride)
+        assert not state.contains(0)  # 4 distinct: definitely out (LRU)
+
+
+class TestPlumbing:
+    def test_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            AbstractCacheState(CONFIG, 4, "maybe")
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            AbstractCacheState(CONFIG, 0, "must")
+
+    def test_join_compat_validated(self):
+        with pytest.raises(ConfigurationError):
+            must().join(may())
+
+    def test_copy_independent(self):
+        state = must()
+        state.access(0)
+        copy = state.copy()
+        state.access(CONFIG.way_size)
+        assert copy.age_of(0) == 0
+
+    def test_key_stable(self):
+        a, b = must(), must()
+        a.access(0x100)
+        b.access(0x100)
+        assert a.key() == b.key()

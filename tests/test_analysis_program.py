@@ -1,0 +1,71 @@
+"""Tests for the CFG program model."""
+
+import pytest
+
+from repro.analysis import BasicBlock, Program, diamond, simple_loop, straight_line
+from repro.errors import ConfigurationError
+
+
+class TestBasicBlock:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock("", (0,))
+        with pytest.raises(ConfigurationError):
+            BasicBlock("b", (-64,))
+
+
+class TestProgram:
+    def test_entry_must_exist(self):
+        with pytest.raises(ConfigurationError):
+            Program(blocks={}, edges={}, entry="missing")
+
+    def test_edges_validated(self):
+        block = BasicBlock("a", (0,))
+        with pytest.raises(ConfigurationError):
+            Program(blocks={"a": block}, edges={"a": ("ghost",)}, entry="a")
+
+    def test_exits_defaulted(self):
+        program = straight_line([[0], [64]])
+        assert program.exits == ("B1",)
+
+    def test_successors_predecessors(self):
+        program = diamond([0], [64], [128], [192])
+        assert set(program.successors("before")) == {"then", "else"}
+        assert set(program.predecessors("after")) == {"then", "else"}
+
+    def test_access_points(self):
+        program = straight_line([[0, 64], [128]])
+        points = program.access_points()
+        assert ("B0", 1, 64) in points
+        assert len(points) == 3
+
+
+class TestBuilders:
+    def test_straight_line_shape(self):
+        program = straight_line([[0], [64], [128]])
+        assert program.entry == "B0"
+        assert program.successors("B0") == ("B1",)
+        assert program.successors("B2") == ()
+
+    def test_simple_loop_shape(self):
+        program = simple_loop([0], [64], [128])
+        assert "body" in program.successors("body")
+        assert "exit" in program.successors("body")
+
+    def test_empty_straight_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            straight_line([])
+
+
+class TestRandomPaths:
+    def test_paths_start_at_entry_and_follow_edges(self):
+        program = diamond([0], [64], [128], [192])
+        for path in program.random_paths(20, seed=1):
+            assert path[0] == "before"
+            for current, following in zip(path, path[1:]):
+                assert following in program.successors(current)
+
+    def test_loop_paths_bounded(self):
+        program = simple_loop([0], [64])
+        for path in program.random_paths(5, max_steps=30, seed=0):
+            assert len(path) <= 31

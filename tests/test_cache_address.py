@@ -1,0 +1,47 @@
+"""Tests for address decomposition."""
+
+import pytest
+
+from repro.cache import AddressCodec, CacheConfig
+
+
+class TestDecompose:
+    def test_known_layout(self):
+        codec = AddressCodec(CacheConfig("L1", 32 * 1024, 8))  # 64 sets
+        decomposed = codec.decompose(0x12345)
+        assert decomposed.offset == 0x12345 & 0x3F
+        assert decomposed.set_index == (0x12345 >> 6) & 0x3F
+        assert decomposed.tag == 0x12345 >> 12
+
+    def test_rejects_negative(self):
+        codec = AddressCodec(CacheConfig("L1", 32 * 1024, 8))
+        with pytest.raises(ValueError):
+            codec.decompose(-1)
+
+
+class TestCompose:
+    def test_round_trip(self):
+        codec = AddressCodec(CacheConfig("L1", 32 * 1024, 8))
+        for address in (0, 0x3F, 0x40, 0xFFF, 0x12345678, (1 << 40) + 12345):
+            d = codec.decompose(address)
+            assert codec.compose(d.tag, d.set_index, d.offset) == address
+
+    def test_bounds_checked(self):
+        codec = AddressCodec(CacheConfig("L1", 32 * 1024, 8))
+        with pytest.raises(ValueError):
+            codec.compose(0, 64, 0)
+        with pytest.raises(ValueError):
+            codec.compose(0, 0, 64)
+
+
+class TestHelpers:
+    def test_line_address(self):
+        codec = AddressCodec(CacheConfig("L1", 32 * 1024, 8))
+        assert codec.line_address(0x12345) == 0x12340
+        assert codec.line_address(0x12340) == 0x12340
+
+    def test_same_set_addresses_distinct_and_same_set(self):
+        codec = AddressCodec(CacheConfig("L1", 32 * 1024, 8))
+        addresses = [codec.same_set_address(17, k) for k in range(10)]
+        assert len(set(addresses)) == 10
+        assert all(codec.decompose(a).set_index == 17 for a in addresses)

@@ -1,0 +1,35 @@
+"""Tests for statistics counters."""
+
+from repro.cache import CacheStats
+
+
+class TestRatios:
+    def test_zero_accesses(self):
+        stats = CacheStats()
+        assert stats.miss_ratio == 0.0
+        assert stats.hit_ratio == 0.0
+
+    def test_ratios(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.miss_ratio == 0.3
+        assert stats.hit_ratio == 0.7
+
+
+class TestSnapshotDelta:
+    def test_snapshot_is_independent(self):
+        stats = CacheStats(accesses=1)
+        snap = stats.snapshot()
+        stats.accesses += 5
+        assert snap.accesses == 1
+
+    def test_delta(self):
+        stats = CacheStats(accesses=10, misses=4)
+        earlier = CacheStats(accesses=3, misses=1)
+        delta = stats.delta(earlier)
+        assert delta.accesses == 7
+        assert delta.misses == 3
+
+    def test_reset(self):
+        stats = CacheStats(accesses=5, hits=2, misses=3, evictions=1)
+        stats.reset()
+        assert stats.accesses == stats.hits == stats.misses == stats.evictions == 0

@@ -1,0 +1,82 @@
+"""Tests for the repro-cache command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_infer_defaults(self):
+        args = build_parser().parse_args(["infer", "--processor", "atom-d525-like"])
+        assert args.level == "L1"
+        assert args.repetitions == 1
+
+    def test_unknown_processor_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["infer", "--processor", "z80"])
+
+
+class TestCommands:
+    def test_list_processors(self, capsys):
+        assert main(["list-processors"]) == 0
+        out = capsys.readouterr().out
+        assert "atom-d525-like" in out
+        assert "nehalem-like" in out
+
+    def test_list_policies(self, capsys):
+        assert main(["list-policies"]) == 0
+        out = capsys.readouterr().out
+        assert "lru" in out.splitlines()
+        assert "plru" in out.splitlines()
+
+    def test_infer_with_check(self, capsys):
+        code = main(
+            ["infer", "--processor", "atom-d525-like", "--level", "L1", "--check"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lru (permutation)" in out
+        assert "MATCH" in out
+
+    def test_evaluate_prints_table(self, capsys):
+        code = main(["evaluate", "--policies", "lru,fifo", "--size", "4096", "--ways", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload" in out
+        assert "loop-friendly" in out
+
+    def test_predictability_prints_metrics(self, capsys):
+        code = main(["predictability", "--policies", "lru,fifo", "--ways", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "evict" in out
+        # LRU evict at 4 ways is 4, FIFO is 7.
+        lines = [line for line in out.splitlines() if line.startswith("lru")]
+        assert lines and "| 4" in lines[0].replace("  ", " ")
+
+
+class TestQueryCommand:
+    def test_query_simulated_policy(self, capsys):
+        assert main(["query", "--policy", "lru", "--ways", "2", "a b a @ a?"]) == 0
+        assert capsys.readouterr().out.strip() == "a=hit"
+
+    def test_query_fifo_differs(self, capsys):
+        assert main(["query", "--policy", "fifo", "--ways", "2", "a b a @ a?"]) == 0
+        assert capsys.readouterr().out.strip() == "a=miss"
+
+    def test_query_processor(self, capsys):
+        code = main(
+            ["query", "--processor", "atom-d525-like", "--level", "L1",
+             "a 6*@ a?"]
+        )
+        assert code == 0
+        # 6 fresh blocks into a 6-way LRU set evict a.
+        assert capsys.readouterr().out.strip() == "a=miss"
+
+    def test_query_parse_error_reported(self, capsys):
+        assert main(["query", "--policy", "lru", "2*( a"]) == 2
+        assert "error" in capsys.readouterr().err

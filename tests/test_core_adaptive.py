@@ -1,0 +1,95 @@
+"""Tests for adaptivity (set dueling) detection."""
+
+import pytest
+
+from repro.core import SimulatedSetOracle
+from repro.core.adaptive import (
+    AdaptivityReport,
+    AdaptivitySurvey,
+    SetClassification,
+    detect_nondeterminism,
+)
+from repro.policies import BipPolicy, LruPolicy, PlruPolicy, make_policy
+from repro.util.rng import SeededRng
+
+
+class TestDetectNondeterminism:
+    def test_deterministic_policies_pass(self):
+        for name in ("lru", "fifo", "plru", "bitplru", "srrip"):
+            oracle = SimulatedSetOracle(make_policy(name, 4))
+            assert detect_nondeterminism(oracle, ways=4) is False
+
+    def test_random_policy_flagged(self):
+        oracle = SimulatedSetOracle(make_policy("random", 4, rng=SeededRng(0)))
+        assert detect_nondeterminism(oracle, ways=4) is True
+
+    def test_bip_flagged(self):
+        oracle = SimulatedSetOracle(BipPolicy(4, rng=SeededRng(0)))
+        assert detect_nondeterminism(oracle, ways=4) is True
+
+
+class TestReport:
+    def test_uniform_named_is_fixed(self):
+        report = AdaptivityReport(
+            "L3",
+            (
+                SetClassification(0, "named", "lru"),
+                SetClassification(5, "named", "lru"),
+            ),
+        )
+        assert not report.adaptive
+        assert report.fixed_policy == "lru"
+        assert "fixed policy: lru" in report.summary()
+
+    def test_mixed_names_is_adaptive(self):
+        report = AdaptivityReport(
+            "L3",
+            (
+                SetClassification(0, "named", "lru"),
+                SetClassification(5, "named", "bitplru"),
+                SetClassification(9, "named", "lru"),
+            ),
+        )
+        assert report.adaptive
+        assert report.fixed_policy is None
+        leaders = report.suspected_leaders()
+        assert [c.set_index for c in leaders] == [5]
+
+    def test_mixed_kinds_is_adaptive(self):
+        report = AdaptivityReport(
+            "L3",
+            (
+                SetClassification(0, "named", "lru"),
+                SetClassification(5, "nondeterministic", None),
+                SetClassification(9, "nondeterministic", None),
+            ),
+        )
+        assert report.adaptive
+        assert [c.set_index for c in report.suspected_leaders()] == [0]
+        assert "ADAPTIVE" in report.summary()
+
+
+class TestSurvey:
+    def test_survey_on_fixed_policy(self):
+        # Every "set" is an independent PLRU instance: not adaptive.
+        def factory(set_index):
+            return SimulatedSetOracle(PlruPolicy(4))
+
+        survey = AdaptivitySurvey(factory, ways=4, level="L1")
+        report = survey.survey([0, 1, 2])
+        assert not report.adaptive
+        assert report.fixed_policy == "plru"
+
+    def test_survey_on_simulated_dueling(self):
+        # Emulate a DIP-like cache: set 0 runs LRU (leader), the rest BIP.
+        def factory(set_index):
+            if set_index == 0:
+                return SimulatedSetOracle(LruPolicy(4))
+            return SimulatedSetOracle(BipPolicy(4, rng=SeededRng(set_index)))
+
+        survey = AdaptivitySurvey(factory, ways=4, level="L3")
+        report = survey.survey([0, 3, 7, 11])
+        assert report.adaptive
+        assert [c.set_index for c in report.suspected_leaders()] == [0]
+        leader = report.classifications[0]
+        assert leader.kind == "named" and leader.policy_name == "lru"

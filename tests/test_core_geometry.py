@@ -1,0 +1,90 @@
+"""Tests for measurement-based geometry inference."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.geometry import (
+    GeometryFinding,
+    GeometryInference,
+    PlatformAddressOracle,
+)
+from repro.core.oracle import MissCountOracle
+from repro.errors import InferenceError
+from repro.hardware import HardwarePlatform, LevelSpec, ProcessorSpec
+
+
+def platform_for(config: CacheConfig, policy: str = "lru") -> HardwarePlatform:
+    spec = ProcessorSpec(
+        name="geom",
+        description="geometry-test processor",
+        levels=(LevelSpec(config, policy),),
+    )
+    return HardwarePlatform(spec)
+
+
+def infer(config: CacheConfig, policy: str = "lru", **kwargs) -> GeometryFinding:
+    oracle = PlatformAddressOracle(platform_for(config, policy), "L1")
+    return GeometryInference(oracle, **kwargs).infer()
+
+
+class TestGeometryFinding:
+    def test_derived_fields(self):
+        finding = GeometryFinding(line_size=64, ways=8, total_size=32 * 1024)
+        assert finding.way_size == 4096
+        assert finding.num_sets == 64
+        assert "32 KiB" in finding.describe()
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "size,ways,line",
+        [
+            (4 * 1024, 4, 64),
+            (32 * 1024, 8, 64),
+            (24 * 1024, 6, 64),  # Atom-style non-power-of-two capacity
+            (8 * 1024, 2, 32),
+            (16 * 1024, 16, 128),
+        ],
+    )
+    def test_recovers_geometry(self, size, ways, line):
+        config = CacheConfig("L1", size, ways, line_size=line)
+        finding = infer(config)
+        assert finding.line_size == line
+        assert finding.total_size == size
+        assert finding.ways == ways
+        assert finding.num_sets == config.num_sets
+
+    @pytest.mark.parametrize("policy", ["fifo", "plru", "bitplru", "srrip"])
+    def test_policy_independent(self, policy):
+        config = CacheConfig("L1", 8 * 1024, 8)
+        finding = infer(config, policy=policy)
+        assert finding.total_size == 8 * 1024
+        assert finding.ways == 8
+
+    def test_direct_mapped(self):
+        config = CacheConfig("L1", 4 * 1024, 1)
+        finding = infer(config)
+        assert finding.ways == 1
+        assert finding.total_size == 4 * 1024
+
+    def test_size_limit_enforced(self):
+        config = CacheConfig("L1", 64 * 1024, 8)
+        with pytest.raises(InferenceError, match="larger"):
+            infer(config, max_size=16 * 1024)
+
+
+class TestStages:
+    def test_line_size_stage(self):
+        config = CacheConfig("L1", 8 * 1024, 4, line_size=128)
+        oracle = PlatformAddressOracle(platform_for(config), "L1")
+        assert GeometryInference(oracle).infer_line_size() == 128
+
+    def test_capacity_stage_exact_on_odd_sizes(self):
+        config = CacheConfig("L1", 24 * 1024, 6)
+        oracle = PlatformAddressOracle(platform_for(config), "L1")
+        assert GeometryInference(oracle).infer_capacity(64) == 24 * 1024
+
+    def test_ways_stage(self):
+        config = CacheConfig("L1", 32 * 1024, 8)
+        oracle = PlatformAddressOracle(platform_for(config), "L1")
+        assert GeometryInference(oracle).infer_ways(32 * 1024) == 8

@@ -1,0 +1,43 @@
+"""Tests for spec naming."""
+
+from repro.core.naming import known_specs, name_spec
+from repro.core.permutation import derive_spec_from_policy
+from repro.policies import PlruPolicy, fifo_spec, lru_spec
+
+
+class TestKnownSpecs:
+    def test_power_of_two_includes_plru(self):
+        table = known_specs(4)
+        assert set(table) == {"lru", "fifo", "plru"}
+
+    def test_non_power_of_two_excludes_plru(self):
+        table = known_specs(6)
+        assert set(table) == {"lru", "fifo"}
+
+    def test_cached(self):
+        assert known_specs(4) is known_specs(4)
+
+
+class TestNameSpec:
+    def test_names_classics(self):
+        assert name_spec(lru_spec(4)) == "lru"
+        assert name_spec(fifo_spec(8)) == "fifo"
+        assert name_spec(derive_spec_from_policy(PlruPolicy(8))) == "plru"
+
+    def test_names_up_to_relabeling(self):
+        relabeled = lru_spec(4).conjugate((3, 1, 0, 2, ) if False else (2, 0, 1, 3))
+        assert name_spec(relabeled) == "lru"
+
+    def test_undocumented_returns_none(self):
+        from repro.core.permutation import standard_miss_perm
+        from repro.policies import PermutationSpec
+        from repro.policies.permutation import identity
+
+        # Hits at 0/1 swap the top two positions, others identity: not a
+        # classic policy.
+        odd = PermutationSpec(
+            4,
+            ((1, 0, 2, 3), (1, 0, 2, 3), identity(4), identity(4)),
+            standard_miss_perm(4),
+        )
+        assert name_spec(odd) is None

@@ -1,0 +1,110 @@
+"""Tests for measurement oracles."""
+
+import pytest
+
+from repro.core import SimulatedSetOracle, VotingOracle
+from repro.errors import MeasurementError
+from repro.policies import LruPolicy
+
+
+class TestSimulatedSetOracle:
+    def test_counts_misses_from_fresh_state(self):
+        oracle = SimulatedSetOracle(LruPolicy(2))
+        assert oracle.count_misses([], [1, 2, 1]) == 2
+        # Measurements are independent: the same call repeats identically.
+        assert oracle.count_misses([], [1, 2, 1]) == 2
+
+    def test_setup_not_counted(self):
+        oracle = SimulatedSetOracle(LruPolicy(2))
+        assert oracle.count_misses([1, 2], [1, 2]) == 0
+        assert oracle.count_misses([1, 2], [3]) == 1
+
+    def test_cost_accounting(self):
+        oracle = SimulatedSetOracle(LruPolicy(2))
+        oracle.count_misses([1], [2, 3])
+        oracle.count_misses([], [4])
+        assert oracle.measurements == 2
+        assert oracle.accesses == 4
+        oracle.reset_cost()
+        assert oracle.measurements == 0
+        assert oracle.accesses == 0
+
+    def test_ways_exposure(self):
+        assert SimulatedSetOracle(LruPolicy(4)).ways == 4
+        assert SimulatedSetOracle(LruPolicy(4), expose_ways=False).ways is None
+
+
+class _FlakyOracle(SimulatedSetOracle):
+    """Returns a wrong count every other measurement."""
+
+    def __init__(self, policy):
+        super().__init__(policy)
+        self._calls = 0
+
+    def count_misses(self, setup, probe):
+        true_value = super().count_misses(setup, probe)
+        self._calls += 1
+        if self._calls % 2 == 0:
+            return true_value + 1
+        return true_value
+
+
+class TestVotingOracle:
+    def test_majority_suppresses_minority_noise(self):
+        flaky = _FlakyOracle(LruPolicy(2))
+        voting = VotingOracle(flaky, repetitions=5)
+        # 3 of 5 votes are correct.
+        assert voting.count_misses([], [1, 2, 1]) == 2
+
+    def test_repetitions_validated(self):
+        with pytest.raises(MeasurementError):
+            VotingOracle(SimulatedSetOracle(LruPolicy(2)), repetitions=0)
+
+    def test_cost_counts_every_repetition(self):
+        inner = SimulatedSetOracle(LruPolicy(2))
+        voting = VotingOracle(inner, repetitions=3)
+        voting.count_misses([], [1])
+        assert voting.measurements == 3
+        voting.reset_cost()
+        assert voting.measurements == 0
+
+    def test_forwards_ways(self):
+        voting = VotingOracle(SimulatedSetOracle(LruPolicy(8)))
+        assert voting.ways == 8
+
+
+class _AdditiveNoiseOracle(SimulatedSetOracle):
+    """Adds a deterministic positive bias on some repetitions."""
+
+    def __init__(self, policy, extras):
+        super().__init__(policy)
+        self._extras = list(extras)
+        self._call = 0
+
+    def count_misses(self, setup, probe):
+        true_value = super().count_misses(setup, probe)
+        extra = self._extras[self._call % len(self._extras)]
+        self._call += 1
+        return true_value + extra
+
+
+class TestVotingAggregates:
+    def test_min_recovers_truth_under_additive_noise(self):
+        # Majority would return a polluted mode here; min cannot.
+        noisy = _AdditiveNoiseOracle(LruPolicy(2), extras=[2, 1, 0, 3, 2])
+        voting = VotingOracle(noisy, repetitions=5, aggregate="min")
+        assert voting.count_misses([], [1, 2, 1]) == 2
+
+    def test_median_robust_to_outliers(self):
+        noisy = _AdditiveNoiseOracle(LruPolicy(2), extras=[0, 0, 9])
+        voting = VotingOracle(noisy, repetitions=3, aggregate="median")
+        assert voting.count_misses([], [1, 2, 1]) == 2
+
+    def test_majority_with_mostly_clean_runs(self):
+        noisy = _AdditiveNoiseOracle(LruPolicy(2), extras=[0, 0, 0, 5, 7])
+        voting = VotingOracle(noisy, repetitions=5, aggregate="majority")
+        assert voting.count_misses([], [1, 2, 1]) == 2
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(MeasurementError):
+            VotingOracle(SimulatedSetOracle(LruPolicy(2)), aggregate="mean")

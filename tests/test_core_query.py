@@ -1,0 +1,78 @@
+"""Tests for the access-sequence query language."""
+
+import pytest
+
+from repro.core import SimulatedSetOracle
+from repro.core.query import QueryParseError, parse_query, run_query
+from repro.policies import FifoPolicy, LruPolicy, PlruPolicy
+
+
+def lru_oracle(ways=2):
+    return SimulatedSetOracle(LruPolicy(ways))
+
+
+class TestParsing:
+    def test_names_and_probes(self):
+        query = parse_query("a b a? c?")
+        assert query.blocks == (0, 1, 0, 2)
+        assert query.probed == (2, 3)
+        assert query.names == ("a", "b", "a", "c")
+
+    def test_fresh_blocks_distinct(self):
+        query = parse_query("@ @ @?")
+        assert len(set(query.blocks)) == 3
+
+    def test_repetition_scalar(self):
+        assert parse_query("3*x y").names == ("x", "x", "x", "y")
+
+    def test_repetition_group(self):
+        assert parse_query("2*( a b ) c").names == ("a", "b", "a", "b", "c")
+
+    def test_nested_groups(self):
+        assert parse_query("2*( a 2*b )").names == ("a", "b", "b", "a", "b", "b")
+
+    def test_errors(self):
+        with pytest.raises(QueryParseError):
+            parse_query("")
+        with pytest.raises(QueryParseError):
+            parse_query("2*( a b")  # unbalanced
+        with pytest.raises(QueryParseError):
+            parse_query("( a )")  # bare parens
+        with pytest.raises(QueryParseError):
+            parse_query("0*a")
+        with pytest.raises(QueryParseError):
+            parse_query("a$b")
+
+
+class TestExecution:
+    def test_basic_hit_miss(self):
+        assert run_query(lru_oracle(), "a b a? c?") == "a=hit c=miss"
+
+    def test_lru_vs_fifo_divergence(self):
+        # The canonical LRU/FIFO separator: touch a, fill past capacity.
+        query = "a b a @ a?"
+        assert run_query(lru_oracle(2), query) == "a=hit"
+        assert run_query(SimulatedSetOracle(FifoPolicy(2)), query) == "a=miss"
+
+    def test_repetition_in_execution(self):
+        # Four distinct fresh blocks evict everything from a 4-way set.
+        assert run_query(SimulatedSetOracle(LruPolicy(4)), "a b c d 4*@ a?") == "a=miss"
+
+    def test_plru_anomaly_expressible(self):
+        # In 4-way tree PLRU, hits can protect one side of the tree so a
+        # line survives more fresh misses than under LRU.
+        result_plru = run_query(SimulatedSetOracle(PlruPolicy(4)), "a b c d a c a?")
+        result_lru = run_query(SimulatedSetOracle(LruPolicy(4)), "a b c d a c a?")
+        assert result_plru == result_lru == "a=hit"
+
+    def test_probes_see_full_prefix(self):
+        # Each probe replays ALL preceding accesses (including earlier
+        # probed ones): after a b c the set is {b, c}; the probed access
+        # to a then evicts b, so the second probe misses too.
+        assert run_query(lru_oracle(2), "a b c a? b?") == "a=miss b=miss"
+
+    def test_probe_replay_not_polluted_by_measurement(self):
+        # A probe must not double-count its own access: re-probing the
+        # same block twice reports the prefix-state outcome both times
+        # in the hit case.
+        assert run_query(lru_oracle(2), "a b b? b?") == "b=hit b=hit"

@@ -1,0 +1,78 @@
+"""Tests for whole-hierarchy evaluation."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import ConfigurationError
+from repro.eval import compare_policy_assignments, evaluate_hierarchy
+from repro.workloads import Trace, cyclic_loop
+
+
+def configs():
+    return [
+        CacheConfig("L1", 1024, 2),  # 16 lines
+        CacheConfig("L2", 8192, 4),  # 128 lines
+    ]
+
+
+LATENCIES = {"L1": 4, "L2": 12, "memory": 100}
+
+
+class TestEvaluateHierarchy:
+    def test_all_hits_cost_l1_latency(self):
+        trace = cyclic_loop(8, iterations=50)  # fits in L1
+        result = evaluate_hierarchy(trace, configs(), ["lru", "lru"], LATENCIES)
+        assert result.level_miss_ratios["L1"] == pytest.approx(8 / 400)
+        # AMAT approaches the L1 latency as cold misses amortise.
+        assert result.amat < 4 + 5
+
+    def test_l2_bound_workload(self):
+        trace = cyclic_loop(64, iterations=20)  # fits L2, thrashes L1
+        result = evaluate_hierarchy(trace, configs(), ["lru", "lru"], LATENCIES)
+        assert result.level_miss_ratios["L1"] == 1.0
+        assert result.level_miss_ratios["L2"] < 0.1
+        assert 16 - 2 < result.amat < 16 + 10  # ~L1+L2 latency
+
+    def test_memory_bound_workload(self):
+        trace = cyclic_loop(1024, iterations=3)  # thrashes both levels
+        result = evaluate_hierarchy(trace, configs(), ["lru", "lru"], LATENCIES)
+        assert result.memory_accesses == len(trace)
+        assert result.amat == pytest.approx(4 + 12 + 100)
+
+    def test_label_defaults_to_policy_names(self):
+        trace = cyclic_loop(4, iterations=2)
+        result = evaluate_hierarchy(trace, configs(), ["lru", "fifo"], LATENCIES)
+        assert result.label == "lru+fifo"
+
+    def test_missing_latency_rejected(self):
+        trace = cyclic_loop(4, iterations=2)
+        with pytest.raises(ConfigurationError):
+            evaluate_hierarchy(trace, configs(), ["lru", "lru"], {"L1": 4, "memory": 100})
+        with pytest.raises(ConfigurationError):
+            evaluate_hierarchy(trace, configs(), ["lru", "lru"], {"L1": 4, "L2": 12})
+
+    def test_row_rendering(self):
+        trace = cyclic_loop(4, iterations=2)
+        result = evaluate_hierarchy(trace, configs(), ["lru", "lru"], LATENCIES)
+        row = result.row(["L1", "L2"])
+        assert row[0] == "lru+lru"
+        assert len(row) == 5  # label, 2 ratios, memory ratio, amat
+
+
+class TestCompareAssignments:
+    def test_policy_choice_shows_in_amat(self):
+        # Thrash L2 with a loop just above its capacity: LIP in L2 wins.
+        trace = cyclic_loop(160, iterations=20)
+        results = compare_policy_assignments(
+            trace,
+            configs(),
+            {"classic": ["lru", "lru"], "insertion": ["lru", "lip"]},
+            LATENCIES,
+        )
+        by_label = {r.label: r for r in results}
+        assert by_label["insertion"].amat < by_label["classic"].amat
+
+    def test_wrong_arity_rejected(self):
+        trace = cyclic_loop(4, iterations=2)
+        with pytest.raises(ConfigurationError):
+            compare_policy_assignments(trace, configs(), {"bad": ["lru"]}, LATENCIES)

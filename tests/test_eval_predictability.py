@@ -1,0 +1,88 @@
+"""Tests for the evict/fill predictability metrics."""
+
+import pytest
+
+from repro.core.permutation import derive_spec_from_policy
+from repro.eval.predictability import (
+    collapse_depth_spec,
+    evict_metric_policy,
+    evict_metric_spec,
+    predictability_of_policy,
+    predictability_of_spec,
+    reachable_full_states,
+)
+from repro.policies import (
+    BitPlruPolicy,
+    FifoPolicy,
+    LruPolicy,
+    NruPolicy,
+    PlruPolicy,
+    RandomPolicy,
+    fifo_spec,
+    lru_spec,
+)
+
+
+class TestEvictKnownValues:
+    """The literature values (Reineke et al.) as ground truth."""
+
+    @pytest.mark.parametrize("ways", [2, 4, 8])
+    def test_lru_is_ways(self, ways):
+        assert evict_metric_spec(lru_spec(ways)) == ways
+
+    @pytest.mark.parametrize("ways", [2, 4, 8])
+    def test_fifo_is_2k_minus_1(self, ways):
+        assert evict_metric_spec(fifo_spec(ways)) == 2 * ways - 1
+
+    @pytest.mark.parametrize("ways,expected", [(2, 2), (4, 5), (8, 13)])
+    def test_plru_formula(self, ways, expected):
+        # evict(PLRU, k) = (k/2) * log2(k) + 1
+        spec = derive_spec_from_policy(PlruPolicy(ways))
+        assert evict_metric_spec(spec) == expected
+
+    def test_spec_and_policy_paths_agree(self):
+        for policy, spec in ((LruPolicy(4), lru_spec(4)), (FifoPolicy(4), fifo_spec(4))):
+            assert evict_metric_policy(policy) == evict_metric_spec(spec)
+
+
+class TestFill:
+    def test_fill_is_evict_plus_ways_for_standard_miss(self):
+        result = predictability_of_spec("lru", lru_spec(4))
+        assert result.fill == result.evict + 4
+
+    def test_collapse_depth_standard(self):
+        assert collapse_depth_spec(lru_spec(8)) == 8
+
+    def test_one_bit_policies_never_collapse(self):
+        for policy in (BitPlruPolicy(4), NruPolicy(4)):
+            result = predictability_of_policy(policy.NAME, policy)
+            assert result.evict is not None
+            assert result.fill is None
+
+
+class TestPolicyPathDispatch:
+    def test_permutation_policies_use_spec_path(self):
+        # Way-symmetric policies must not be punished by way-labeled
+        # collapse: LRU's fill is finite.
+        result = predictability_of_policy("lru", LruPolicy(4))
+        assert result.fill == 8
+
+    def test_random_is_unbounded(self):
+        result = predictability_of_policy("random", RandomPolicy(4))
+        assert result.evict is None and result.fill is None
+
+
+class TestReachableStates:
+    def test_lru_reaches_all_orders(self):
+        states = reachable_full_states(LruPolicy(3))
+        assert len(states) == 6  # 3! recency orders
+
+    def test_plru_reaches_all_bit_patterns(self):
+        states = reachable_full_states(PlruPolicy(4))
+        assert len(states) == 8  # 2^3 tree-bit patterns
+
+    def test_budget_enforced(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            reachable_full_states(LruPolicy(8), max_states=10)

@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly (catching API drift), and the
+cheap ones are executed end to end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        for expected in (
+            "quickstart",
+            "processor_zoo",
+            "policy_performance",
+            "noisy_measurement",
+            "predictability_report",
+            "survey_unknown_machine",
+            "wcet_analysis",
+            "sliced_cache",
+        ):
+            assert expected in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_cleanly(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main")
+
+    def test_wcet_analysis_runs(self, capsys):
+        load_example("wcet_analysis").main()
+        out = capsys.readouterr().out
+        assert "proven hits" in out
+
+    def test_sliced_cache_runs(self, capsys):
+        load_example("sliced_cache").main()
+        out = capsys.readouterr().out
+        assert "exact" in out

@@ -1,0 +1,128 @@
+"""Tests for the measurement harness and hardware oracle."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import PermutationInference, reverse_engineer
+from repro.errors import MeasurementError
+from repro.hardware import (
+    HardwarePlatform,
+    HardwareSetOracle,
+    LevelSpec,
+    MeasurementHarness,
+    ProcessorSpec,
+)
+
+
+def two_level_processor(l1_policy="lru", l2_policy="fifo", page_size=2 * 1024 * 1024):
+    return ProcessorSpec(
+        name="test2l",
+        description="test-only",
+        levels=(
+            LevelSpec(CacheConfig("L1", 4 * 1024, 4), l1_policy),  # 16 sets
+            LevelSpec(CacheConfig("L2", 32 * 1024, 8), l2_policy),  # 64 sets
+        ),
+        page_size=page_size,
+    )
+
+
+class TestHarnessAddressing:
+    def test_find_set_addresses_map_correctly(self):
+        platform = HardwarePlatform(two_level_processor())
+        harness = MeasurementHarness(platform, buffer_size=1 << 20)
+        addresses = harness.find_set_addresses("L2", 17, 12)
+        assert len(set(addresses)) == 12
+        assert all(harness.set_index_of("L2", a) == 17 for a in addresses)
+
+    def test_find_set_addresses_with_small_pages(self):
+        platform = HardwarePlatform(two_level_processor(page_size=4096))
+        harness = MeasurementHarness(platform, buffer_size=1 << 20)
+        addresses = harness.find_set_addresses("L2", 5, 8)
+        assert all(harness.set_index_of("L2", a) == 5 for a in addresses)
+
+    def test_buffer_too_small_detected(self):
+        platform = HardwarePlatform(two_level_processor())
+        harness = MeasurementHarness(platform, buffer_size=1 << 14)
+        with pytest.raises(MeasurementError):
+            harness.find_set_addresses("L2", 0, 1000)
+
+    def test_conflict_pool_properties(self):
+        platform = HardwarePlatform(two_level_processor())
+        harness = MeasurementHarness(platform, buffer_size=1 << 22)
+        target = harness.find_set_addresses("L2", 9, 1)[0]
+        pool = harness.conflict_pool("L2", target)
+        assert len(pool) == 2 * 4  # twice the L1 associativity
+        l1_set = harness.set_index_of("L1", target)
+        for address in pool:
+            assert harness.set_index_of("L1", address) == l1_set
+            assert harness.set_index_of("L2", address) != 9
+
+    def test_conflict_pool_empty_for_l1(self):
+        platform = HardwarePlatform(two_level_processor())
+        harness = MeasurementHarness(platform, buffer_size=1 << 20)
+        target = harness.find_set_addresses("L1", 3, 1)[0]
+        assert harness.conflict_pool("L1", target) == []
+
+
+class TestHardwareOracle:
+    def test_l1_miss_counts(self):
+        platform = HardwarePlatform(two_level_processor())
+        oracle = HardwareSetOracle(platform, "L1", max_blocks=32)
+        assert oracle.count_misses([], [0, 1, 0]) == 2
+        assert oracle.count_misses([0], [0]) == 0
+
+    def test_l2_logical_accesses_reach_l2(self):
+        platform = HardwarePlatform(two_level_processor())
+        oracle = HardwareSetOracle(platform, "L2", max_blocks=32)
+        # Two accesses to the same block: the second must HIT L2, which
+        # can only happen if the first L1 copy was defeated in between.
+        assert oracle.count_misses([], [0, 0]) == 1
+
+    def test_measurements_independent(self):
+        platform = HardwarePlatform(two_level_processor())
+        oracle = HardwareSetOracle(platform, "L2", max_blocks=32)
+        first = oracle.count_misses([], [0, 1, 2, 0])
+        second = oracle.count_misses([], [0, 1, 2, 0])
+        assert first == second
+
+    def test_pool_exhaustion_detected(self):
+        platform = HardwarePlatform(two_level_processor())
+        oracle = HardwareSetOracle(platform, "L1", max_blocks=4)
+        with pytest.raises(MeasurementError):
+            oracle.count_misses([], list(range(100)))
+
+    def test_end_to_end_l1_inference(self):
+        platform = HardwarePlatform(two_level_processor())
+        oracle = HardwareSetOracle(platform, "L1", max_blocks=64)
+        result = PermutationInference(oracle).infer()
+        assert result.succeeded
+        from repro.core import name_spec
+
+        assert name_spec(result.spec) == "lru"
+
+    def test_end_to_end_l2_inference(self):
+        platform = HardwarePlatform(two_level_processor())
+        oracle = HardwareSetOracle(platform, "L2", max_blocks=64)
+        finding = reverse_engineer(oracle)
+        assert finding.policy_name == "fifo"
+
+    def test_inference_with_small_pages(self):
+        platform = HardwarePlatform(two_level_processor(page_size=4096))
+        oracle = HardwareSetOracle(platform, "L1", max_blocks=64)
+        finding = reverse_engineer(oracle)
+        assert finding.policy_name == "lru"
+
+
+class TestHarnessValidation:
+    def test_monotone_set_counts_required(self):
+        spec = ProcessorSpec(
+            name="shrinking",
+            description="L2 smaller than L1 in sets",
+            levels=(
+                LevelSpec(CacheConfig("L1", 32 * 1024, 8), "lru"),  # 64 sets
+                LevelSpec(CacheConfig("L2", 32 * 1024, 32), "lru"),  # 16 sets
+            ),
+        )
+        platform = HardwarePlatform(spec)
+        with pytest.raises(MeasurementError, match="monotonic"):
+            MeasurementHarness(platform, buffer_size=1 << 20)

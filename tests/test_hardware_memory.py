@@ -1,0 +1,74 @@
+"""Tests for simulated virtual memory."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.hardware.memory import HUGE_PAGE_SIZE, VirtualMemory
+from repro.util.rng import SeededRng
+
+
+class TestConstruction:
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ConfigurationError):
+            VirtualMemory(page_size=3000)
+
+    def test_rejects_misaligned_physical_size(self):
+        with pytest.raises(ConfigurationError):
+            VirtualMemory(page_size=4096, physical_size=4096 * 3 + 1)
+
+    def test_huge_pages_flag(self):
+        assert VirtualMemory(page_size=HUGE_PAGE_SIZE).huge_pages
+        assert not VirtualMemory(page_size=4096).huge_pages
+
+
+class TestAllocation:
+    def test_translate_round_trips_within_page(self):
+        memory = VirtualMemory(page_size=4096)
+        buffer = memory.allocate(8192)
+        base_physical = memory.translate(buffer.base)
+        assert memory.translate(buffer.base + 100) == base_physical + 100
+
+    def test_huge_pages_contiguous_physical(self):
+        memory = VirtualMemory()
+        buffer = memory.allocate(8 * HUGE_PAGE_SIZE)
+        first = memory.translate(buffer.base)
+        for offset in range(0, buffer.size, HUGE_PAGE_SIZE):
+            assert memory.translate(buffer.base + offset) == first + offset
+
+    def test_small_pages_fragmented(self):
+        memory = VirtualMemory(page_size=4096, rng=SeededRng(1))
+        buffer = memory.allocate(64 * 4096)
+        physicals = [
+            memory.translate(buffer.base + i * 4096) for i in range(64)
+        ]
+        deltas = {b - a for a, b in zip(physicals, physicals[1:])}
+        assert deltas != {4096}  # not an identity mapping
+
+    def test_distinct_allocations_disjoint(self):
+        memory = VirtualMemory(page_size=4096)
+        a = memory.allocate(4096 * 4)
+        b = memory.allocate(4096 * 4)
+        pages_a = {memory.translate(a.base + i * 4096) for i in range(4)}
+        pages_b = {memory.translate(b.base + i * 4096) for i in range(4)}
+        assert not pages_a & pages_b
+
+    def test_unmapped_access_rejected(self):
+        memory = VirtualMemory(page_size=4096)
+        with pytest.raises(MeasurementError):
+            memory.translate(0)  # page zero is never mapped
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MeasurementError):
+            VirtualMemory().allocate(0)
+
+    def test_exhaustion_detected(self):
+        memory = VirtualMemory(page_size=4096, physical_size=4096 * 8)
+        with pytest.raises(MeasurementError):
+            memory.allocate(4096 * 100)
+
+    def test_line_addresses_cover_buffer(self):
+        memory = VirtualMemory(page_size=4096)
+        buffer = memory.allocate(4096)
+        lines = list(buffer.line_addresses(64))
+        assert len(lines) == 4096 // 64
+        assert lines[0] == buffer.base

@@ -1,0 +1,179 @@
+"""Tests for the simulated platform, counters and noise."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import MeasurementError
+from repro.hardware import (
+    HardwarePlatform,
+    LevelSpec,
+    NoiseModel,
+    ProcessorSpec,
+    get_processor,
+)
+
+
+def tiny_processor(noise=NoiseModel()):
+    return ProcessorSpec(
+        name="tiny",
+        description="test-only",
+        levels=(
+            LevelSpec(CacheConfig("L1", 1024, 2), "lru"),
+            LevelSpec(CacheConfig("L2", 4096, 4), "lru"),
+        ),
+        noise=noise,
+    )
+
+
+class TestPlatform:
+    def test_boot_and_load(self):
+        platform = HardwarePlatform(tiny_processor())
+        buffer = platform.allocate(1 << 16)
+        platform.load(buffer.base)
+        assert platform.loads_performed == 1
+        assert platform.counters.read("L1", "miss") == 1
+        platform.load(buffer.base)
+        assert platform.counters.read("L1", "hit") == 1
+
+    def test_wbinvd_flushes(self):
+        platform = HardwarePlatform(tiny_processor())
+        buffer = platform.allocate(1 << 16)
+        platform.load(buffer.base)
+        platform.wbinvd()
+        platform.load(buffer.base)
+        assert platform.counters.read("L1", "miss") == 2
+
+    def test_level_configs_published(self):
+        platform = HardwarePlatform(tiny_processor())
+        assert [c.name for c in platform.level_configs] == ["L1", "L2"]
+        assert platform.level_config("L2").ways == 4
+
+    def test_counters_reject_unknown(self):
+        platform = HardwarePlatform(tiny_processor())
+        with pytest.raises(MeasurementError):
+            platform.counters.read("L1", "tlb")
+        with pytest.raises(MeasurementError):
+            platform.counters.read("L7", "miss")
+
+    def test_snapshot_delta(self):
+        platform = HardwarePlatform(tiny_processor())
+        buffer = platform.allocate(1 << 16)
+        platform.load(buffer.base)
+        before = platform.counters.snapshot()
+        platform.load(buffer.base + 64)
+        assert platform.counters.delta("L1", "miss", before) == 1
+        assert platform.counters.delta("L1", "access", before) == 1
+
+
+class TestNoise:
+    def test_counter_noise_overcounts(self):
+        noisy = HardwarePlatform(tiny_processor(NoiseModel(counter_noise_rate=0.5)))
+        quiet = HardwarePlatform(tiny_processor())
+        buffer_noisy = noisy.allocate(1 << 16)
+        buffer_quiet = quiet.allocate(1 << 16)
+        for i in range(500):
+            noisy.load(buffer_noisy.base + (i % 4) * 64)
+            quiet.load(buffer_quiet.base + (i % 4) * 64)
+        assert noisy.counters.read("L1", "miss") > quiet.counters.read("L1", "miss")
+
+    def test_noise_is_seed_deterministic(self):
+        spec = tiny_processor(NoiseModel(counter_noise_rate=0.2))
+        readings = []
+        for _ in range(2):
+            platform = HardwarePlatform(spec, seed=9)
+            buffer = platform.allocate(1 << 16)
+            for i in range(200):
+                platform.load(buffer.base + (i % 8) * 64)
+            readings.append(platform.counters.read("L1", "miss"))
+        assert readings[0] == readings[1]
+
+    def test_prefetch_noise_issues_extra_accesses(self):
+        platform = HardwarePlatform(tiny_processor(NoiseModel(prefetch_rate=1.0)))
+        buffer = platform.allocate(1 << 16)
+        platform.load(buffer.base)
+        # The prefetch touched the next line: accessing it now hits.
+        before = platform.counters.snapshot()
+        platform.load(buffer.base + 64)
+        assert platform.counters.delta("L1", "hit", before) == 1
+
+    def test_noise_model_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            NoiseModel(counter_noise_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            NoiseModel(prefetch_rate=-0.1)
+
+    def test_silent_property(self):
+        assert NoiseModel().silent
+        assert not NoiseModel(counter_noise_rate=0.01).silent
+
+
+class TestCatalog:
+    def test_all_processors_boot(self):
+        from repro.hardware import PROCESSORS
+
+        for name in PROCESSORS:
+            platform = HardwarePlatform(get_processor(name))
+            buffer = platform.allocate(1 << 20)
+            platform.load(buffer.base)
+
+    def test_ground_truth_exposed(self):
+        spec = get_processor("nehalem-like")
+        assert spec.ground_truth == {"L1": "plru", "L2": "plru", "L3": "nru"}
+
+    def test_level_lookup(self):
+        spec = get_processor("atom-d525-like")
+        assert spec.level("L2").policy == "fifo"
+        with pytest.raises(KeyError):
+            spec.level("L3")
+
+    def test_unknown_processor(self):
+        with pytest.raises(KeyError, match="known"):
+            get_processor("pentium-pro")
+
+
+class TestBackgroundNoise:
+    def test_background_disturbs_state(self):
+        # With heavy background traffic the caches hold lines nobody
+        # loaded through the measurement API.
+        platform = HardwarePlatform(
+            tiny_processor(NoiseModel(background_rate=1.0)), seed=4
+        )
+        buffer = platform.allocate(1 << 16)
+        for i in range(200):
+            platform.load(buffer.base + (i % 4) * 64)
+        resident = platform.hierarchy.level("L2").resident_addresses()
+        loaded = {platform.translate(buffer.base + k * 64) for k in range(4)}
+        assert resident - loaded  # foreign lines present
+
+    def test_background_not_counted_as_demand(self):
+        platform = HardwarePlatform(
+            tiny_processor(NoiseModel(background_rate=1.0)), seed=4
+        )
+        buffer = platform.allocate(1 << 16)
+        for i in range(100):
+            platform.load(buffer.base)
+        # Exactly our 100 demand accesses are visible in the counters.
+        assert platform.counters.read("L1", "access") == 100
+
+    def test_voting_survives_light_background_noise(self):
+        from repro.core import VotingOracle, reverse_engineer
+        from repro.core.inference import InferenceConfig
+        from repro.hardware import HardwareSetOracle
+
+        spec = ProcessorSpec(
+            name="bg-noisy",
+            description="PLRU L1 with background traffic",
+            levels=(LevelSpec(CacheConfig("L1", 4 * 1024, 4), "plru"),),
+            noise=NoiseModel(background_rate=0.001),
+        )
+        platform = HardwarePlatform(spec, seed=5)
+        oracle = VotingOracle(
+            HardwareSetOracle(platform, "L1", max_blocks=96),
+            repetitions=7,
+            aggregate="min",
+        )
+        config = InferenceConfig(verify_sequences=8, verify_length=40, verify_window=4)
+        finding = reverse_engineer(oracle, inference_config=config)
+        assert finding.policy_name == "plru"

@@ -1,0 +1,113 @@
+"""End-to-end integration tests: the full paper pipeline in miniature.
+
+These drive the library exactly the way the experiments do — platform,
+harness, oracle, inference, naming — on configurations small enough for
+the regular test run.  The full-size runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import VotingOracle, reverse_engineer
+from repro.core.inference import InferenceConfig
+from repro.hardware import (
+    HardwarePlatform,
+    HardwareSetOracle,
+    LevelSpec,
+    NoiseModel,
+    ProcessorSpec,
+)
+
+
+def mini_processor(l1="plru", l2="fifo", noise=NoiseModel()):
+    return ProcessorSpec(
+        name="mini",
+        description="integration-test processor",
+        levels=(
+            LevelSpec(CacheConfig("L1", 4 * 1024, 4), l1),
+            LevelSpec(CacheConfig("L2", 32 * 1024, 8, inclusion="inclusive"), l2),
+        ),
+        noise=noise,
+    )
+
+
+FAST = InferenceConfig(verify_sequences=10, verify_length=40)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize(
+        "l1,l2",
+        [("plru", "fifo"), ("lru", "plru"), ("fifo", "lru")],
+    )
+    def test_permutation_policies_through_hardware(self, l1, l2):
+        platform = HardwarePlatform(mini_processor(l1, l2))
+        for level, truth in (("L1", l1), ("L2", l2)):
+            oracle = HardwareSetOracle(platform, level, max_blocks=96)
+            finding = reverse_engineer(oracle, inference_config=FAST)
+            assert finding.policy_name == truth, f"{level}: {finding.summary()}"
+
+    def test_candidate_policy_through_hardware(self):
+        platform = HardwarePlatform(mini_processor(l2="bitplru"))
+        oracle = HardwareSetOracle(platform, "L2", max_blocks=96)
+        finding = reverse_engineer(oracle, inference_config=FAST)
+        assert finding.method == "candidate"
+        assert finding.policy_name == "bitplru"
+
+    def test_different_sets_agree(self):
+        # The policy is the same in every set; inferring two different
+        # sets must give the same answer.
+        platform = HardwarePlatform(mini_processor())
+        findings = []
+        for set_index in (3, 11):
+            oracle = HardwareSetOracle(platform, "L1", set_index=set_index, max_blocks=96)
+            findings.append(reverse_engineer(oracle, inference_config=FAST).policy_name)
+        assert findings[0] == findings[1] == "plru"
+
+
+class TestNoiseRobustness:
+    def test_noise_breaks_single_shot(self):
+        # With heavy counter noise, plain inference must not silently
+        # "succeed": either it fails, or (rarely) the noise cancelled out.
+        platform = HardwarePlatform(
+            mini_processor(noise=NoiseModel(counter_noise_rate=0.05)), seed=1
+        )
+        oracle = HardwareSetOracle(platform, "L1", max_blocks=96)
+        result_quiet = reverse_engineer(
+            HardwareSetOracle(HardwarePlatform(mini_processor()), "L1", max_blocks=96),
+            inference_config=FAST,
+        )
+        assert result_quiet.policy_name == "plru"
+        noisy_finding = reverse_engineer(oracle, inference_config=FAST)
+        # No assertion that it fails (noise is random), but it must never
+        # confidently return a *wrong* named permutation policy.
+        if noisy_finding.method == "permutation":
+            assert noisy_finding.policy_name in ("plru", None)
+
+    def test_min_voting_with_short_windows_restores_correctness(self):
+        # Counter noise is strictly additive, so the min over repeated
+        # measurements converges to the true count — provided every
+        # measurement keeps a short noise exposure (verify_window).
+        platform = HardwarePlatform(
+            mini_processor(noise=NoiseModel(counter_noise_rate=0.02)), seed=2
+        )
+        oracle = VotingOracle(
+            HardwareSetOracle(platform, "L1", max_blocks=96),
+            repetitions=7,
+            aggregate="min",
+        )
+        config = InferenceConfig(verify_sequences=10, verify_length=40, verify_window=4)
+        finding = reverse_engineer(oracle, inference_config=config)
+        assert finding.policy_name == "plru"
+
+
+class TestPrefetcherInterference:
+    def test_next_line_prefetch_does_not_corrupt_set_targeting(self):
+        # Next-line prefetches land in the neighbouring set, so even an
+        # aggressive prefetcher leaves set-targeted inference intact —
+        # the property the paper's methodology relies on.
+        platform = HardwarePlatform(
+            mini_processor(noise=NoiseModel(prefetch_rate=0.3)), seed=3
+        )
+        oracle = HardwareSetOracle(platform, "L1", max_blocks=96)
+        finding = reverse_engineer(oracle, inference_config=FAST)
+        assert finding.policy_name == "plru"

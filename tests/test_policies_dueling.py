@@ -1,0 +1,102 @@
+"""Tests for the set-dueling controller."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies.dueling import DuelController
+
+
+class TestConstruction:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            DuelController(0)
+        with pytest.raises(ConfigurationError):
+            DuelController(8, psel_bits=0)
+
+    def test_leader_sets_disjoint(self):
+        controller = DuelController(64)
+        primaries = {s for s in range(64) if controller.is_primary_leader(s)}
+        secondaries = {s for s in range(64) if controller.is_secondary_leader(s)}
+        assert primaries and secondaries
+        assert not primaries & secondaries
+
+
+class TestSteering:
+    def test_neutral_start_uses_secondary_boundary(self):
+        controller = DuelController(64)
+        follower = next(
+            s
+            for s in range(64)
+            if not controller.is_primary_leader(s)
+            and not controller.is_secondary_leader(s)
+        )
+        # At the exact midpoint the controller picks the secondary.
+        assert controller.use_primary(follower) is False
+
+    def test_primary_leader_misses_steer_to_secondary(self):
+        controller = DuelController(64)
+        leader = next(s for s in range(64) if controller.is_primary_leader(s))
+        follower = next(
+            s
+            for s in range(64)
+            if not controller.is_primary_leader(s)
+            and not controller.is_secondary_leader(s)
+        )
+        for _ in range(100):
+            controller.record_miss(leader)
+        assert controller.use_primary(follower) is False
+
+    def test_secondary_leader_misses_steer_to_primary(self):
+        controller = DuelController(64)
+        leader = next(s for s in range(64) if controller.is_secondary_leader(s))
+        follower = next(
+            s
+            for s in range(64)
+            if not controller.is_primary_leader(s)
+            and not controller.is_secondary_leader(s)
+        )
+        for _ in range(100):
+            controller.record_miss(leader)
+        assert controller.use_primary(follower) is True
+
+    def test_leaders_never_switch(self):
+        controller = DuelController(64)
+        primary = next(s for s in range(64) if controller.is_primary_leader(s))
+        secondary = next(s for s in range(64) if controller.is_secondary_leader(s))
+        for _ in range(200):
+            controller.record_miss(primary)
+        assert controller.use_primary(primary) is True
+        assert controller.use_primary(secondary) is False
+
+    def test_follower_misses_do_not_move_psel(self):
+        controller = DuelController(64)
+        follower = next(
+            s
+            for s in range(64)
+            if not controller.is_primary_leader(s)
+            and not controller.is_secondary_leader(s)
+        )
+        before = controller.psel
+        for _ in range(50):
+            controller.record_miss(follower)
+        assert controller.psel == before
+
+    def test_saturation(self):
+        controller = DuelController(64, psel_bits=4)
+        leader = next(s for s in range(64) if controller.is_primary_leader(s))
+        for _ in range(1000):
+            controller.record_miss(leader)
+        assert controller.psel == controller.psel_max
+
+    def test_reset(self):
+        controller = DuelController(64)
+        leader = next(s for s in range(64) if controller.is_primary_leader(s))
+        controller.record_miss(leader)
+        controller.reset()
+        assert controller.psel == controller.psel_mid
+
+    def test_single_set_cache(self):
+        # Degenerate but allowed: one set; must not crash.
+        controller = DuelController(1)
+        controller.record_miss(0)
+        controller.use_primary(0)

@@ -1,0 +1,39 @@
+"""Tests for FIFO replacement."""
+
+from repro.cache.set import CacheSet
+from repro.policies import FifoPolicy
+
+
+class TestFifo:
+    def test_evicts_in_insertion_order(self):
+        cache_set = CacheSet(2, FifoPolicy(2))
+        cache_set.access(1)
+        cache_set.access(2)
+        assert cache_set.access(3).evicted_tag == 1
+        assert cache_set.access(4).evicted_tag == 2
+
+    def test_hits_do_not_delay_eviction(self):
+        cache_set = CacheSet(2, FifoPolicy(2))
+        cache_set.access(1)
+        cache_set.access(2)
+        cache_set.access(1)  # hit: FIFO ignores it
+        assert cache_set.access(3).evicted_tag == 1
+
+    def test_differs_from_lru_observably(self):
+        from repro.policies import LruPolicy
+
+        trace = [1, 2, 1, 3, 1]  # LRU keeps 1 resident, FIFO evicts it
+        fifo_set = CacheSet(2, FifoPolicy(2))
+        lru_set = CacheSet(2, LruPolicy(2))
+        fifo_hits = [fifo_set.access(t).hit for t in trace]
+        lru_hits = [lru_set.access(t).hit for t in trace]
+        assert fifo_hits != lru_hits
+
+    def test_clone_and_reset(self):
+        policy = FifoPolicy(3)
+        policy.fill(1)
+        copy = policy.clone()
+        assert copy.state_key() == policy.state_key()
+        policy.reset()
+        assert policy.state_key() == (0, 1, 2)
+        assert copy.state_key() != (0, 1, 2)

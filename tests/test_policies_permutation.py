@@ -1,0 +1,130 @@
+"""Tests for permutation specs and the generic permutation policy."""
+
+import pytest
+
+from repro.cache.set import CacheSet
+from repro.errors import ConfigurationError
+from repro.policies import (
+    FifoPolicy,
+    LruPolicy,
+    PermutationPolicy,
+    PermutationSpec,
+    fifo_spec,
+    lru_spec,
+)
+from repro.policies.permutation import apply_permutation, compose, identity, invert
+
+
+class TestPermutationHelpers:
+    def test_apply(self):
+        assert apply_permutation(["a", "b", "c"], (1, 2, 0)) == ["c", "a", "b"]
+
+    def test_compose_order(self):
+        inner = (1, 2, 0)
+        outer = (0, 2, 1)
+        composed = compose(outer, inner)
+        items = ["a", "b", "c"]
+        via_two_steps = apply_permutation(apply_permutation(items, inner), outer)
+        assert apply_permutation(items, composed) == via_two_steps
+
+    def test_invert(self):
+        perm = (2, 0, 1)
+        assert compose(perm, invert(perm)) == identity(3)
+        assert compose(invert(perm), perm) == identity(3)
+
+
+class TestSpecValidation:
+    def test_rejects_non_permutation_hit(self):
+        with pytest.raises(ConfigurationError):
+            PermutationSpec(2, ((0, 0), (0, 1)), (1, 0))
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ConfigurationError):
+            PermutationSpec(3, ((0, 1, 2),), (1, 2, 0))
+
+    def test_rejects_bad_miss(self):
+        with pytest.raises(ConfigurationError):
+            PermutationSpec(2, ((0, 1), (0, 1)), (0, 0))
+
+    def test_properties(self):
+        spec = lru_spec(4)
+        assert spec.eviction_position == 3
+        assert spec.insertion_position == 0
+
+    def test_describe_mentions_vectors(self):
+        text = lru_spec(2).describe()
+        assert "hit@0" in text and "miss" in text
+
+
+class TestConjugate:
+    def test_must_fix_eviction_position(self):
+        with pytest.raises(ConfigurationError):
+            lru_spec(3).conjugate((2, 1, 0))
+
+    def test_identity_relabel_is_noop(self):
+        spec = lru_spec(4)
+        assert spec.conjugate((0, 1, 2, 3)) == spec
+
+    def test_conjugation_roundtrip(self):
+        spec = lru_spec(4)
+        relabel = (1, 2, 0, 3)
+        inverse = (2, 0, 1, 3)
+        assert spec.conjugate(relabel).conjugate(inverse) == spec
+
+
+class TestPermutationPolicyBehaviour:
+    def test_lru_spec_equals_lru(self):
+        import random
+
+        rng = random.Random(0)
+        spec_set = CacheSet(4, PermutationPolicy(4, lru_spec(4)))
+        direct_set = CacheSet(4, LruPolicy(4))
+        for _ in range(3000):
+            tag = rng.randrange(7)
+            a, b = spec_set.access(tag), direct_set.access(tag)
+            assert a.hit == b.hit and a.evicted_tag == b.evicted_tag
+
+    def test_fifo_spec_equals_fifo(self):
+        import random
+
+        rng = random.Random(1)
+        spec_set = CacheSet(8, PermutationPolicy(8, fifo_spec(8)))
+        direct_set = CacheSet(8, FifoPolicy(8))
+        for _ in range(3000):
+            tag = rng.randrange(12)
+            a, b = spec_set.access(tag), direct_set.access(tag)
+            assert a.hit == b.hit and a.evicted_tag == b.evicted_tag
+
+    def test_position_of(self):
+        policy = PermutationPolicy(4, lru_spec(4))
+        cache_set = CacheSet(4, policy)
+        for tag in (1, 2, 3, 4):
+            cache_set.access(tag)
+        # Most recent fill sits at position 0.
+        way_of_4 = cache_set.lookup(4)
+        assert policy.position_of(way_of_4) == 0
+
+    def test_spec_ways_must_match(self):
+        with pytest.raises(ConfigurationError):
+            PermutationPolicy(8, lru_spec(4))
+
+    def test_nonstandard_insertion_position(self):
+        # A miss permutation inserting in the middle: survivors above the
+        # insertion point rotate towards eviction.
+        spec = PermutationSpec(
+            ways=3,
+            hit_perms=(identity(3),) * 3,
+            miss_perm=(0, 2, 1),  # pos1 -> pos2 evictable; new block at pos1
+        )
+        assert spec.insertion_position == 1
+        policy = PermutationPolicy(3, spec)
+        cache_set = CacheSet(3, policy)
+        for tag in (1, 2, 3):
+            cache_set.access(tag)
+        # The block at position 0 is never moved by misses under this
+        # spec (0 -> 0), so it survives arbitrarily many of them.
+        protected_way = policy._order[0]
+        protected_tag = cache_set.contents()[protected_way]
+        for tag in (10, 11, 12, 13):
+            cache_set.access(tag)
+        assert cache_set.lookup(protected_tag) is not None

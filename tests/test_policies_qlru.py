@@ -1,0 +1,87 @@
+"""Tests for the QLRU family."""
+
+import pytest
+
+from repro.cache.set import CacheSet
+from repro.errors import ConfigurationError
+from repro.policies import QlruPolicy, SrripPolicy
+from repro.policies.qlru import HIT_FUNCTIONS, qlru_variants
+
+
+class TestConstruction:
+    def test_rejects_bad_hit_map(self):
+        with pytest.raises(ConfigurationError):
+            QlruPolicy(4, hit_map=(0, 1, 2))  # wrong length
+        with pytest.raises(ConfigurationError):
+            QlruPolicy(4, hit_map=(0, 1, 2, 4))  # out of range
+
+    def test_rejects_bad_insert_age(self):
+        with pytest.raises(ConfigurationError):
+            QlruPolicy(4, insert_age=5)
+
+    def test_rejects_bad_rules(self):
+        with pytest.raises(ConfigurationError):
+            QlruPolicy(4, victim_rule="middle")
+        with pytest.raises(ConfigurationError):
+            QlruPolicy(4, aging_rule="never")
+
+    def test_variant_name(self):
+        policy = QlruPolicy(4, hit_map=HIT_FUNCTIONS["h11"], insert_age=1)
+        assert policy.variant_name == "qlru_h11_m1_r0_u0"
+
+
+class TestBehaviour:
+    def test_h00_m2_matches_srrip(self):
+        # QLRU with hit->0, insert 2, leftmost-max victim and to-max aging
+        # is behaviourally identical to 2-bit SRRIP by construction.
+        import random
+
+        rng = random.Random(0)
+        qlru_set = CacheSet(4, QlruPolicy(4, hit_map=HIT_FUNCTIONS["h00"], insert_age=2))
+        srrip_set = CacheSet(4, SrripPolicy(4))
+        for _ in range(2000):
+            tag = rng.randrange(7)
+            assert qlru_set.access(tag).hit == srrip_set.access(tag).hit
+
+    def test_insert_age_changes_behaviour(self):
+        import random
+
+        rng = random.Random(0)
+        trace = [rng.randrange(7) for _ in range(500)]
+        outcomes = []
+        for insert_age in (0, 2, 3):
+            cache_set = CacheSet(4, QlruPolicy(4, insert_age=insert_age))
+            outcomes.append(tuple(cache_set.access(t).hit for t in trace))
+        assert len(set(outcomes)) > 1
+
+    def test_hit_function_applies(self):
+        policy = QlruPolicy(4, hit_map=HIT_FUNCTIONS["h21"], insert_age=3)
+        cache_set = CacheSet(4, policy)
+        cache_set.access(1)  # inserted at age 3
+        cache_set.access(1)  # hit: age 3 -> 1 under h21
+        assert policy.state_key()[0] == 1
+
+    def test_rightmost_victim_rule(self):
+        policy = QlruPolicy(4, victim_rule="rightmost")
+        policy._ages = [3, 1, 3, 2]
+        assert policy.evict() == 2
+
+    def test_single_aging_rule(self):
+        policy = QlruPolicy(4, aging_rule="single")
+        policy._ages = [0, 1, 1, 0]
+        policy.evict()
+        assert max(policy._ages) == 3
+
+    def test_reset(self):
+        policy = QlruPolicy(4)
+        policy.fill(0)
+        policy.reset()
+        assert policy.state_key() == (3, 3, 3, 3)
+
+
+class TestVariants:
+    def test_registry_presets_constructible(self):
+        variants = qlru_variants()
+        assert len(variants) == len(HIT_FUNCTIONS) * 4
+        for kwargs in variants.values():
+            QlruPolicy(4, **kwargs)

@@ -1,0 +1,69 @@
+"""Tests for the policy registry and factories."""
+
+import pytest
+
+from repro.errors import UnknownPolicyError
+from repro.policies import (
+    PolicyFactory,
+    available_policies,
+    lru_spec,
+    make_policy,
+)
+from repro.util.rng import SeededRng
+
+
+class TestRegistry:
+    def test_expected_names_present(self):
+        names = available_policies()
+        for expected in ("lru", "fifo", "plru", "bitplru", "nru", "random",
+                         "lip", "bip", "dip", "srrip", "brrip", "drrip",
+                         "qlru_h00_m1", "permutation"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownPolicyError):
+            make_policy("clairvoyant", 4)
+
+    def test_error_message_lists_known(self):
+        with pytest.raises(UnknownPolicyError, match="lru"):
+            PolicyFactory("nope")
+
+    def test_every_policy_constructible(self):
+        for name in available_policies():
+            if name == "permutation":
+                policy = make_policy(name, 4, spec=lru_spec(4))
+            elif name == "plru":
+                policy = make_policy(name, 4)
+            else:
+                policy = make_policy(name, 4, rng=SeededRng(0))
+            assert policy.ways == 4
+
+    def test_permutation_requires_spec(self):
+        with pytest.raises(UnknownPolicyError, match="spec"):
+            make_policy("permutation", 4)
+
+
+class TestPolicyFactory:
+    def test_build_per_set(self):
+        factory = PolicyFactory("lru")
+        shared = factory.create_shared(8, SeededRng(0))
+        policies = [factory.build(4, i, shared) for i in range(8)]
+        assert all(p.ways == 4 for p in policies)
+        policies[0].touch(1)
+        assert policies[1].state_key() == (0, 1, 2, 3)  # independent state
+
+    def test_dueling_policies_share_context(self):
+        factory = PolicyFactory("dip")
+        shared = factory.create_shared(16, SeededRng(0))
+        a = factory.build(4, 0, shared)
+        b = factory.build(4, 1, shared)
+        assert a._shared is b._shared
+
+    def test_deterministic_flag(self):
+        assert PolicyFactory("lru").deterministic
+        assert not PolicyFactory("random").deterministic
+
+    def test_params_forwarded(self):
+        factory = PolicyFactory("srrip", rrpv_bits=3)
+        policy = factory.build(4)
+        assert policy.rrpv_max == 7

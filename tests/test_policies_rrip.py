@@ -1,0 +1,88 @@
+"""Tests for SRRIP / BRRIP / DRRIP."""
+
+from repro.cache.set import CacheSet
+from repro.policies import BrripPolicy, DrripPolicy, SrripPolicy
+from repro.util.rng import SeededRng
+
+
+class TestSrrip:
+    def test_insertion_is_long_not_distant(self):
+        policy = SrripPolicy(4)
+        cache_set = CacheSet(4, policy)
+        cache_set.access(1)
+        assert policy.state_key()[0] == policy.rrpv_max - 1
+
+    def test_hit_promotes_to_zero(self):
+        policy = SrripPolicy(4)
+        cache_set = CacheSet(4, policy)
+        cache_set.access(1)
+        cache_set.access(1)
+        assert policy.state_key()[0] == 0
+
+    def test_victim_is_leftmost_max(self):
+        policy = SrripPolicy(4)
+        # Ages: 3, 2, 3, 1 -> victim must be way 0.
+        policy._rrpv = [3, 2, 3, 1]
+        assert policy.evict() == 0
+
+    def test_aging_when_no_max(self):
+        policy = SrripPolicy(4)
+        policy._rrpv = [0, 1, 2, 2]
+        victim = policy.evict()
+        assert victim in (2, 3)
+        assert policy._rrpv == [1, 2, 3, 3]
+
+    def test_scan_resistance(self):
+        # A resident block with RRPV 0 survives a short scan that a
+        # 2-bit SRRIP inserts at RRPV 2.
+        policy = SrripPolicy(4)
+        cache_set = CacheSet(4, policy)
+        cache_set.access(1)
+        cache_set.access(1)  # RRPV 0
+        for tag in (10, 11, 12, 13, 14):
+            cache_set.access(tag)
+        assert cache_set.access(1).hit
+
+    def test_configurable_width(self):
+        policy = SrripPolicy(4, rrpv_bits=3)
+        assert policy.rrpv_max == 7
+
+
+class TestBrrip:
+    def test_epsilon_zero_always_distant(self):
+        policy = BrripPolicy(4, rng=SeededRng(0), epsilon=0.0)
+        cache_set = CacheSet(4, policy)
+        cache_set.access(1)
+        assert policy._rrpv[0] == policy.rrpv_max
+
+    def test_epsilon_one_equals_srrip_insertion(self):
+        policy = BrripPolicy(4, rng=SeededRng(0), epsilon=1.0)
+        cache_set = CacheSet(4, policy)
+        cache_set.access(1)
+        assert policy._rrpv[0] == policy.rrpv_max - 1
+
+    def test_randomized_flag(self):
+        assert BrripPolicy.DETERMINISTIC is False
+        assert BrripPolicy(4).state_key() is None
+
+
+class TestDrrip:
+    def test_standalone_runs(self):
+        policy = DrripPolicy(4, rng=SeededRng(0))
+        cache_set = CacheSet(4, policy)
+        for tag in range(30):
+            cache_set.access(tag % 7)
+        assert len(cache_set.resident_tags()) == 4
+
+    def test_leader_sets_fixed(self):
+        shared = DrripPolicy.create_shared(64, SeededRng(0))
+        controller = shared.controller
+        primaries = [s for s in range(64) if controller.is_primary_leader(s)]
+        secondaries = [s for s in range(64) if controller.is_secondary_leader(s)]
+        assert primaries and secondaries
+        assert not set(primaries) & set(secondaries)
+
+    def test_clone_shares_context(self):
+        policy = DrripPolicy(4, rng=SeededRng(0))
+        copy = policy.clone()
+        assert copy._shared is policy._shared

@@ -1,0 +1,73 @@
+"""Property-based tests for address handling and caches."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AddressCodec, Cache, CacheConfig
+
+configs = st.sampled_from(
+    [
+        CacheConfig("a", 1024, 2),
+        CacheConfig("b", 4096, 4),
+        CacheConfig("c", 32 * 1024, 8),
+        CacheConfig("d", 24 * 1024, 6),  # non-power-of-two size
+        CacheConfig("e", 4096, 64),  # fully associative
+        CacheConfig("f", 4096, 1),  # direct mapped
+    ]
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+@given(config=configs, address=addresses)
+@settings(max_examples=300, deadline=None)
+def test_codec_round_trip(config, address):
+    """compose(decompose(x)) == x for every config and address."""
+    codec = AddressCodec(config)
+    d = codec.decompose(address)
+    assert codec.compose(d.tag, d.set_index, d.offset) == address
+    assert 0 <= d.set_index < config.num_sets
+    assert 0 <= d.offset < config.line_size
+
+
+@given(config=configs, address=addresses)
+@settings(max_examples=200, deadline=None)
+def test_same_line_same_placement(config, address):
+    """All offsets of one line map to the same (tag, set)."""
+    codec = AddressCodec(config)
+    base = codec.line_address(address)
+    d_base = codec.decompose(base)
+    d_addr = codec.decompose(address)
+    assert (d_base.tag, d_base.set_index) == (d_addr.tag, d_addr.set_index)
+
+
+@given(
+    config=configs,
+    trace=st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1), max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_cache_accounting_invariants(config, trace):
+    """hits + misses == accesses; occupancy bounded by capacity."""
+    cache = Cache(config, "lru")
+    for address in trace:
+        cache.access(address)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(trace)
+    assert stats.fills == stats.misses
+    assert len(cache.resident_addresses()) <= config.num_sets * config.ways
+    # Distinct lines touched bounds the fills from below per set.
+    assert stats.evictions <= stats.fills
+
+
+@given(trace=st.lists(st.integers(min_value=0, max_value=(1 << 14) - 1), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_rerun_determinism(trace):
+    """The same trace through an identical cache gives identical stats."""
+
+    def run():
+        cache = Cache(CacheConfig("x", 4096, 4), "plru")
+        for address in trace:
+            cache.access(address)
+        return (cache.stats.hits, cache.stats.misses, cache.resident_addresses())
+
+    assert run() == run()

@@ -1,0 +1,55 @@
+"""Property-based tests for eviction-set discovery.
+
+Random hashed geometries, random pools, random victims: the discovered
+set must always have the target size and consist purely of true same-set
+partners of the victim.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AddressCodec, CacheConfig
+from repro.core.evictionsets import find_eviction_set
+from repro.errors import MeasurementError
+from tests.test_core_evictionsets import _FakeTester
+
+
+@st.composite
+def geometries(draw):
+    ways = draw(st.sampled_from([2, 4, 8]))
+    sets = draw(st.sampled_from([8, 16, 32]))
+    index_hash = draw(st.sampled_from(["bits", "xor-fold"]))
+    return CacheConfig("LLC", sets * ways * 64, ways, index_hash=index_hash)
+
+
+@given(
+    config=geometries(),
+    victim_line=st.integers(min_value=0, max_value=1 << 16),
+    pool_seed=st.integers(min_value=0, max_value=1 << 16),
+)
+@settings(max_examples=40, deadline=None)
+def test_discovered_set_is_exact(config, victim_line, pool_seed):
+    codec = AddressCodec(config)
+    tester = _FakeTester(codec, ways=config.ways)
+    pool = [(pool_seed + line) * 64 for line in range(8 * config.ways * config.num_sets)]
+    victim = (1 << 21) + victim_line * 64
+    assume(victim not in pool)
+    found = find_eviction_set(tester, victim, pool, target_size=config.ways)
+    assert len(found) == config.ways
+    victim_set = codec.decompose(victim).set_index
+    assert all(codec.decompose(a).set_index == victim_set for a in found)
+
+
+@given(config=geometries())
+@settings(max_examples=20, deadline=None)
+def test_insufficient_pool_raises(config):
+    codec = AddressCodec(config)
+    tester = _FakeTester(codec, ways=config.ways)
+    victim = 1 << 21
+    # Fewer than `ways` partners can exist in a tiny pool.
+    pool = [line * 64 for line in range(config.ways - 1)]
+    try:
+        find_eviction_set(tester, victim, pool, target_size=config.ways)
+    except MeasurementError:
+        return
+    raise AssertionError("expected MeasurementError for an undersized pool")

@@ -1,0 +1,69 @@
+"""Property-based tests for hierarchy inclusion invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, CacheHierarchy
+
+traces = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 14) - 1),
+        st.booleans(),  # write?
+    ),
+    max_size=300,
+)
+
+l3_inclusions = st.sampled_from(["inclusive", "nine"])
+l2_inclusions = st.sampled_from(["inclusive", "exclusive", "nine"])
+policies = st.sampled_from(["lru", "plru", "fifo", "bitplru"])
+
+
+def build(l2_inclusion, l3_inclusion, policy):
+    return CacheHierarchy(
+        [
+            CacheConfig("L1", 512, 2),
+            CacheConfig("L2", 2048, 4, inclusion=l2_inclusion),
+            CacheConfig("L3", 8192, 8, inclusion=l3_inclusion),
+        ],
+        [policy, policy, policy],
+    )
+
+
+@given(trace=traces, l2=l2_inclusions, l3=l3_inclusions, policy=policies)
+@settings(max_examples=60, deadline=None)
+def test_inclusion_invariants_under_arbitrary_traffic(trace, l2, l3, policy):
+    """Inclusive levels contain upper levels; exclusive levels overlap none."""
+    hierarchy = build(l2, l3, policy)
+    for address, write in trace:
+        hierarchy.access(address, write=write)
+    assert hierarchy.check_inclusion_invariants() == []
+
+
+@given(trace=traces)
+@settings(max_examples=60, deadline=None)
+def test_per_level_accounting(trace):
+    """Each level's hits+misses equals its accesses; L2 sees only L1 misses."""
+    hierarchy = build("nine", "nine", "lru")
+    for address, write in trace:
+        hierarchy.access(address, write=write)
+    l1 = hierarchy.level("L1").stats
+    l2 = hierarchy.level("L2").stats
+    l3 = hierarchy.level("L3").stats
+    assert l1.hits + l1.misses == l1.accesses == len(trace)
+    assert l2.accesses == l1.misses
+    assert l3.accesses == l2.misses
+    assert hierarchy.stats.memory_accesses >= l3.misses
+
+
+@given(trace=traces)
+@settings(max_examples=40, deadline=None)
+def test_hit_level_matches_walk(trace):
+    """The reported hit level is the first level whose walk entry is a hit."""
+    hierarchy = build("nine", "inclusive", "plru")
+    for address, write in trace:
+        result = hierarchy.access(address, write=write)
+        hits = [name for name, hit in result.level_hits if hit]
+        if result.hit_level is None:
+            assert hits == []
+        else:
+            assert hits == [result.hit_level]

@@ -1,0 +1,92 @@
+"""Property-based tests on the permutation-policy formalism.
+
+These pin down the library's central invariants: random specs survive
+the inference round trip, equivalence behaves like an equivalence
+relation, and conjugation never changes observable behaviour.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PermutationInference, SimulatedSetOracle, equivalent
+from repro.core.permutation import specs_equivalent, standard_miss_perm
+from repro.policies import PermutationPolicy, PermutationSpec, lru_spec
+
+
+def permutations_of(size):
+    return st.permutations(list(range(size)))
+
+
+@st.composite
+def random_specs(draw, ways=4):
+    """Random standard-miss specs (the class inference targets)."""
+    hits = tuple(tuple(draw(permutations_of(ways))) for _ in range(ways))
+    return PermutationSpec(ways, hits, standard_miss_perm(ways))
+
+
+@st.composite
+def eviction_fixing_relabels(draw, ways=4):
+    prefix = draw(st.permutations(list(range(ways - 1))))
+    return tuple(prefix) + (ways - 1,)
+
+
+@given(spec=random_specs())
+@settings(max_examples=25, deadline=None)
+def test_inference_round_trip(spec):
+    """Inference over a black-box random spec recovers an equivalent spec."""
+    oracle = SimulatedSetOracle(PermutationPolicy(4, spec))
+    result = PermutationInference(oracle).infer()
+    assert result.succeeded
+    assert equivalent(result.spec, spec)
+
+
+@given(spec=random_specs(), relabel=eviction_fixing_relabels())
+@settings(max_examples=40, deadline=None)
+def test_conjugation_preserves_behaviour(spec, relabel):
+    """A relabeled spec is observationally equivalent to the original."""
+    assert specs_equivalent(spec, spec.conjugate(relabel))
+
+
+@given(spec=random_specs())
+@settings(max_examples=40, deadline=None)
+def test_equivalence_reflexive(spec):
+    assert specs_equivalent(spec, spec)
+
+
+@given(first=random_specs(), second=random_specs())
+@settings(max_examples=25, deadline=None)
+def test_equivalence_symmetric(first, second):
+    assert specs_equivalent(first, second) == specs_equivalent(second, first)
+
+
+@given(spec=random_specs())
+@settings(max_examples=30, deadline=None)
+def test_canonical_form_is_equivalent_and_stable(spec):
+    from repro.core.permutation import canonical_form
+
+    canon = canonical_form(spec)
+    assert specs_equivalent(spec, canon)
+    assert canonical_form(canon) == canon
+
+
+@given(spec=random_specs(), relabel=eviction_fixing_relabels())
+@settings(max_examples=25, deadline=None)
+def test_canonical_form_identifies_conjugates(spec, relabel):
+    from repro.core.permutation import canonical_form
+
+    assert canonical_form(spec) == canonical_form(spec.conjugate(relabel))
+
+
+@given(
+    tags=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=100)
+)
+@settings(max_examples=60, deadline=None)
+def test_lru_spec_tracks_lru_on_any_trace(tags):
+    """The analytic LRU spec is trace-equivalent to the list implementation."""
+    from repro.cache.set import CacheSet
+    from repro.policies import LruPolicy
+
+    spec_set = CacheSet(4, PermutationPolicy(4, lru_spec(4)))
+    lru_set = CacheSet(4, LruPolicy(4))
+    for tag in tags:
+        assert spec_set.access(tag).hit == lru_set.access(tag).hit

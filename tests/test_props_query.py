@@ -1,0 +1,55 @@
+"""Property-based tests for the query DSL.
+
+The key property: run_query's per-probe outcomes agree with a direct
+simulation of the full access sequence, for random queries and several
+policies — the replay semantics must be exactly "the state produced by
+the prefix".
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set import CacheSet
+from repro.core import SimulatedSetOracle
+from repro.core.query import parse_query, run_query
+from repro.policies import make_policy
+
+policy_names = st.sampled_from(["lru", "fifo", "plru", "bitplru", "srrip"])
+
+
+@st.composite
+def queries(draw):
+    length = draw(st.integers(min_value=1, max_value=20))
+    tokens = []
+    for _ in range(length):
+        token = draw(st.sampled_from(["a", "b", "c", "d", "e", "@"]))
+        if draw(st.booleans()):
+            token += "?"
+        tokens.append(token)
+    return " ".join(tokens)
+
+
+@given(name=policy_names, text=queries())
+@settings(max_examples=120, deadline=None)
+def test_run_query_matches_direct_simulation(name, text):
+    query = parse_query(text)
+    oracle = SimulatedSetOracle(make_policy(name, 4))
+    reported = run_query(oracle, text)
+
+    cache_set = CacheSet(4, make_policy(name, 4))
+    expected_parts = []
+    for position, block in enumerate(query.blocks):
+        hit = cache_set.access(block).hit
+        if position in query.probed:
+            expected_parts.append(
+                f"{query.names[position]}={'hit' if hit else 'miss'}"
+            )
+    assert reported == " ".join(expected_parts)
+
+
+@given(text=queries(), count=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_repetition_expansion_length(text, count):
+    base = parse_query(text)
+    repeated = parse_query(f"{count}*( {text} )")
+    assert len(repeated.blocks) == count * len(base.blocks)

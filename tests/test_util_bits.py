@@ -1,0 +1,57 @@
+"""Tests for repro.util.bits."""
+
+import pytest
+
+from repro.util.bits import extract_bits, ilog2, is_power_of_two, mask
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    def test_round_trip(self):
+        for exponent in range(32):
+            assert ilog2(1 << exponent) == exponent
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(3) == 0b111
+        assert mask(8) == 0xFF
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestExtractBits:
+    def test_basic(self):
+        assert extract_bits(0b1011_0100, 2, 4) == 0b1101
+        assert extract_bits(0xFF00, 8, 8) == 0xFF
+        assert extract_bits(0xFF00, 0, 8) == 0
+
+    def test_zero_width(self):
+        assert extract_bits(0xABCD, 4, 0) == 0
+
+    def test_rejects_negative_positions(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, -1, 2)
+        with pytest.raises(ValueError):
+            extract_bits(1, 0, -2)

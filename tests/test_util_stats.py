@@ -1,0 +1,72 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+
+from repro.util.stats import geomean, mean, median, stdev, summarize
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert math.isclose(geomean([1, 4]), 2.0)
+        assert math.isclose(geomean([2, 2, 2]), 2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_even(self):
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestStdev:
+    def test_constant_is_zero(self):
+        assert stdev([5, 5, 5]) == 0.0
+
+    def test_short_sequences(self):
+        assert stdev([]) == 0.0
+        assert stdev([1]) == 0.0
+
+    def test_known_value(self):
+        assert math.isclose(stdev([2, 4, 4, 4, 5, 5, 7, 9]), 2.138, rel_tol=1e-3)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_str_contains_stats(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text and "mean=" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

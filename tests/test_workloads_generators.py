@@ -1,0 +1,92 @@
+"""Tests for elementary trace generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    cyclic_loop,
+    hot_cold,
+    pointer_chase,
+    random_uniform,
+    sequential_scan,
+    strided,
+    zipf,
+)
+
+
+class TestSequentialScan:
+    def test_length_and_footprint(self):
+        trace = sequential_scan(10, passes=3)
+        assert len(trace) == 30
+        assert trace.footprint_lines == 10
+
+    def test_line_granular(self):
+        trace = sequential_scan(4)
+        assert list(trace) == [0, 64, 128, 192]
+
+    def test_base_offset(self):
+        trace = sequential_scan(2, base=1 << 20)
+        assert trace.addresses[0] == 1 << 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sequential_scan(0)
+
+
+class TestCyclicLoop:
+    def test_is_repeated_scan(self):
+        loop = cyclic_loop(5, iterations=4)
+        scan = sequential_scan(5, passes=4)
+        assert loop.addresses == scan.addresses
+
+
+class TestRandomUniform:
+    def test_deterministic_by_seed(self):
+        assert random_uniform(10, 100, seed=5) == random_uniform(10, 100, seed=5)
+        assert random_uniform(10, 100, seed=5) != random_uniform(10, 100, seed=6)
+
+    def test_footprint_bounded(self):
+        trace = random_uniform(8, 500)
+        assert trace.footprint_lines <= 8
+
+
+class TestZipf:
+    def test_skew(self):
+        trace = zipf(100, 5000, alpha=1.2, seed=0)
+        from collections import Counter
+
+        counts = Counter(trace.addresses)
+        ranked = [count for _, count in counts.most_common()]
+        # The most popular line dominates the tail.
+        assert ranked[0] > 5 * ranked[-1]
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf(10, 10, alpha=0)
+
+
+class TestStrided:
+    def test_wraps_in_footprint(self):
+        trace = strided(3, 10, footprint_lines=7)
+        lines = [a // 64 for a in trace]
+        assert all(0 <= line < 7 for line in lines)
+        assert lines[0] == 0 and lines[1] == 3 and lines[2] == 6 and lines[3] == 2
+
+
+class TestPointerChase:
+    def test_cycle_revisits_every_n(self):
+        trace = pointer_chase(10, 40, seed=1)
+        lines = [a // 64 for a in trace]
+        assert lines[0] == lines[10] == lines[20]
+        assert len(set(lines[:10])) == 10  # a full permutation per lap
+
+
+class TestHotCold:
+    def test_hot_set_dominates(self):
+        trace = hot_cold(4, 100, 2000, hot_fraction=0.9, seed=0)
+        hot_accesses = sum(1 for a in trace if a // 64 < 4)
+        assert hot_accesses > 0.8 * len(trace)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            hot_cold(4, 10, 10, hot_fraction=1.0)

@@ -1,0 +1,40 @@
+"""Tests for the synthetic application models."""
+
+from repro.workloads import APP_MODELS, workload_suite
+
+
+class TestAppModels:
+    def test_catalog_names(self):
+        for expected in ("streaming", "loop-friendly", "loop-thrashing",
+                         "pointer-chasing", "skewed", "hot-cold",
+                         "scan-interference", "random-noise"):
+            assert expected in APP_MODELS
+
+    def test_traces_carry_model_name(self):
+        for name, model in APP_MODELS.items():
+            trace = model.trace(cache_lines=64, seed=0)
+            assert trace.name == name
+            assert len(trace) > 0
+
+    def test_deterministic_by_seed(self):
+        model = APP_MODELS["skewed"]
+        assert model.trace(64, seed=1) == model.trace(64, seed=1)
+
+    def test_footprints_scale_with_cache(self):
+        small = APP_MODELS["streaming"].trace(cache_lines=32)
+        large = APP_MODELS["streaming"].trace(cache_lines=128)
+        assert large.footprint_lines > small.footprint_lines
+
+    def test_loop_friendly_fits_loop_thrashing_does_not(self):
+        cache_lines = 64
+        friendly = APP_MODELS["loop-friendly"].trace(cache_lines)
+        thrashing = APP_MODELS["loop-thrashing"].trace(cache_lines)
+        assert friendly.footprint_lines <= cache_lines
+        assert thrashing.footprint_lines > cache_lines
+
+
+class TestSuite:
+    def test_suite_instantiates_all(self):
+        suite = workload_suite(64)
+        assert len(suite) == len(APP_MODELS)
+        assert {trace.name for trace in suite} == set(APP_MODELS)
