@@ -10,35 +10,38 @@ import pytest
 
 from repro.core.geometry import GeometryInference, PlatformAddressOracle
 from repro.hardware import PROCESSORS, HardwarePlatform, get_processor
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 
-def measure_all():
-    rows = []
-    for name in sorted(PROCESSORS):
-        spec = get_processor(name)
-        platform = HardwarePlatform(spec, seed=0)
-        truth = platform.level_config("L1")
-        oracle = PlatformAddressOracle(platform, "L1")
-        finding = GeometryInference(oracle).infer()
-        match = (
-            finding.total_size == truth.size
-            and finding.ways == truth.ways
-            and finding.line_size == truth.line_size
-        )
-        rows.append(
-            [
-                name,
-                finding.describe(),
-                truth.describe().split(": ", 1)[1],
-                "yes" if match else "NO",
-            ]
-        )
-    return rows
+def _geometry_cell(name: str) -> list[object]:
+    """Measure one processor's L1 geometry (runner cell)."""
+    spec = get_processor(name)
+    platform = HardwarePlatform(spec, seed=0)
+    truth = platform.level_config("L1")
+    oracle = PlatformAddressOracle(platform, "L1")
+    finding = GeometryInference(oracle).infer()
+    match = (
+        finding.total_size == truth.size
+        and finding.ways == truth.ways
+        and finding.line_size == truth.line_size
+    )
+    return [
+        name,
+        finding.describe(),
+        truth.describe().split(": ", 1)[1],
+        "yes" if match else "NO",
+    ]
 
 
-def test_e10_geometry(benchmark, save_result):
-    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+def measure_all(jobs: int = 0):
+    names = sorted(PROCESSORS)
+    runner = ExperimentRunner(jobs=jobs)
+    return runner.map(_geometry_cell, names, labels=names)
+
+
+def test_e10_geometry(benchmark, save_result, jobs):
+    rows = benchmark.pedantic(measure_all, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["processor", "measured L1 geometry", "data sheet", "match"],
         rows,

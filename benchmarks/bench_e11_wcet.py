@@ -14,6 +14,7 @@ from repro.analysis import analyze, check_soundness, generic_analysis, simple_lo
 from repro.analysis.generic import mls_metric_policy
 from repro.cache import Cache, CacheConfig
 from repro.policies import make_policy
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 CONFIG = CacheConfig("L1", 1024, 4)  # 4 sets, 4-way
@@ -38,34 +39,37 @@ def observed_hit_ratio(program, policy_name: str, paths: int = 30) -> float:
     return hits / accesses if accesses else 0.0
 
 
-def compute_rows():
+def _policy_cell(name: str):
+    """Analyse + soundness-check one policy on the loop nest (runner cell)."""
     program = build_program()
-    rows = []
-    fractions = {}
-    for name in POLICIES:
-        policy = make_policy(name, CONFIG.ways)
-        mls = mls_metric_policy(policy)
-        result = (
-            analyze(program, CONFIG)
-            if name == "lru"
-            else generic_analysis(program, CONFIG, policy)
-        )
-        violations = check_soundness(program, CONFIG, result, policy=name, paths=25)
-        assert violations == [], (name, violations)
-        fractions[name] = result.guaranteed_hit_fraction
-        rows.append(
-            [
-                name,
-                mls if mls is not None else "-",
-                round(result.guaranteed_hit_fraction, 3),
-                round(observed_hit_ratio(program, name), 3),
-            ]
-        )
+    policy = make_policy(name, CONFIG.ways)
+    mls = mls_metric_policy(policy)
+    result = (
+        analyze(program, CONFIG)
+        if name == "lru"
+        else generic_analysis(program, CONFIG, policy)
+    )
+    violations = check_soundness(program, CONFIG, result, policy=name, paths=25)
+    assert violations == [], (name, violations)
+    row = [
+        name,
+        mls if mls is not None else "-",
+        round(result.guaranteed_hit_fraction, 3),
+        round(observed_hit_ratio(program, name), 3),
+    ]
+    return row, result.guaranteed_hit_fraction
+
+
+def compute_rows(jobs: int = 0):
+    runner = ExperimentRunner(jobs=jobs)
+    cells = runner.map(_policy_cell, POLICIES, labels=list(POLICIES))
+    rows = [row for row, _fraction in cells]
+    fractions = {name: fraction for name, (_row, fraction) in zip(POLICIES, cells)}
     return rows, fractions
 
 
-def test_e11_provable_hits(benchmark, save_result):
-    rows, fractions = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+def test_e11_provable_hits(benchmark, save_result, jobs):
+    rows, fractions = benchmark.pedantic(compute_rows, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["policy", "mls", "proven hit fraction", "observed hit ratio"],
         rows,

@@ -13,6 +13,7 @@ import pytest
 from repro.cache import CacheConfig
 from repro.core.evictionsets import PlatformEvictionTester, find_eviction_set
 from repro.hardware import HardwarePlatform, LevelSpec, ProcessorSpec
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 CASES = [
@@ -22,7 +23,8 @@ CASES = [
 ]
 
 
-def discover(size: int, ways: int):
+def discover(task: tuple[int, int]):
+    size, ways = task
     spec = ProcessorSpec(
         name=f"sliced-{ways}w",
         description="hashed LLC testbench",
@@ -53,12 +55,15 @@ def discover(size: int, ways: int):
     }
 
 
-def run_all():
-    return [discover(size, ways) for size, ways in CASES]
+def run_all(jobs: int = 0):
+    runner = ExperimentRunner(jobs=jobs)
+    return runner.map(
+        discover, CASES, labels=[f"{size // 1024}KiB/{ways}w" for size, ways in CASES]
+    )
 
 
-def test_e12_eviction_set_discovery(benchmark, save_result):
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+def test_e12_eviction_set_discovery(benchmark, save_result, jobs):
+    results = benchmark.pedantic(run_all, args=(jobs,), rounds=1, iterations=1)
     rows = [
         [
             r["ways"],

@@ -15,6 +15,7 @@ from repro import (
     InferenceConfig,
     reverse_engineer,
 )
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 #: Trimmed verification keeps the 16-way L3 runs tractable; the method
@@ -28,37 +29,45 @@ FAST = InferenceConfig(verify_sequences=10, verify_length=40)
 ADAPTIVE_POLICIES = ("dip", "drrip")
 
 
-def infer_all() -> list[list[object]]:
-    rows = []
-    for name in sorted(PROCESSORS):
-        spec = PROCESSORS[name]
-        platform = HardwarePlatform(spec, seed=0)
-        for level_spec in spec.levels:
-            level = level_spec.config.name
-            oracle = HardwareSetOracle(platform, level)
-            finding = reverse_engineer(oracle, inference_config=FAST)
-            truth = spec.ground_truth[level]
-            if truth in ADAPTIVE_POLICIES:
-                match = "yes" if not finding.identified else "NO"
-                truth = f"{truth} (adaptive; see E9)"
-            else:
-                match = "yes" if finding.policy_name == truth else "NO"
-            rows.append(
-                [
-                    name,
-                    level,
-                    level_spec.config.describe().split(": ", 1)[1],
-                    finding.summary(),
-                    truth,
-                    match,
-                    finding.measurements,
-                ]
-            )
-    return rows
+def _infer_cell(task: tuple[str, str]) -> list[object]:
+    """One (processor, level) inference on a fresh platform (runner cell)."""
+    name, level = task
+    spec = PROCESSORS[name]
+    platform = HardwarePlatform(spec, seed=0)
+    level_spec = next(ls for ls in spec.levels if ls.config.name == level)
+    oracle = HardwareSetOracle(platform, level)
+    finding = reverse_engineer(oracle, inference_config=FAST)
+    truth = spec.ground_truth[level]
+    if truth in ADAPTIVE_POLICIES:
+        match = "yes" if not finding.identified else "NO"
+        truth = f"{truth} (adaptive; see E9)"
+    else:
+        match = "yes" if finding.policy_name == truth else "NO"
+    return [
+        name,
+        level,
+        level_spec.config.describe().split(": ", 1)[1],
+        finding.summary(),
+        truth,
+        match,
+        finding.measurements,
+    ]
 
 
-def test_e1_inferred_policies(benchmark, save_result):
-    rows = benchmark.pedantic(infer_all, rounds=1, iterations=1)
+def infer_all(jobs: int = 0) -> list[list[object]]:
+    cells = [
+        (name, level_spec.config.name)
+        for name in sorted(PROCESSORS)
+        for level_spec in PROCESSORS[name].levels
+    ]
+    runner = ExperimentRunner(jobs=jobs)
+    return runner.map(
+        _infer_cell, cells, labels=[f"{name}/{level}" for name, level in cells]
+    )
+
+
+def test_e1_inferred_policies(benchmark, save_result, jobs):
+    rows = benchmark.pedantic(infer_all, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["processor", "level", "geometry", "inferred", "truth", "match", "measurements"],
         rows,

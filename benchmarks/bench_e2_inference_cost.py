@@ -11,27 +11,34 @@ import pytest
 
 from repro.core import InferenceConfig, PermutationInference, SimulatedSetOracle
 from repro.policies import make_policy
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 WAYS = [2, 4, 8, 16]
 POLICIES = ["lru", "fifo", "plru"]
 
 
-def measure_costs() -> list[list[object]]:
-    rows = []
-    for ways in WAYS:
-        for policy_name in POLICIES:
-            oracle = SimulatedSetOracle(make_policy(policy_name, ways))
-            result = PermutationInference(
-                oracle, config=InferenceConfig(verify_sequences=10)
-            ).infer()
-            assert result.succeeded, (policy_name, ways)
-            rows.append([policy_name, ways, result.measurements, result.accesses])
-    return rows
+def _cost_cell(task: tuple[str, int]) -> list[object]:
+    """One (policy, ways) inference-cost measurement (runner cell)."""
+    policy_name, ways = task
+    oracle = SimulatedSetOracle(make_policy(policy_name, ways))
+    result = PermutationInference(
+        oracle, config=InferenceConfig(verify_sequences=10)
+    ).infer()
+    assert result.succeeded, (policy_name, ways)
+    return [policy_name, ways, result.measurements, result.accesses]
 
 
-def test_e2_inference_cost(benchmark, save_result):
-    rows = benchmark.pedantic(measure_costs, rounds=1, iterations=1)
+def measure_costs(jobs: int = 0) -> list[list[object]]:
+    cells = [(policy, ways) for ways in WAYS for policy in POLICIES]
+    runner = ExperimentRunner(jobs=jobs)
+    return runner.map(
+        _cost_cell, cells, labels=[f"{policy}/{ways}w" for policy, ways in cells]
+    )
+
+
+def test_e2_inference_cost(benchmark, save_result, jobs):
+    rows = benchmark.pedantic(measure_costs, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["policy", "ways", "measurements", "accesses"],
         rows,

@@ -6,12 +6,21 @@ series become the columns of the saved table.  Shape expectations
 asserted below: all policies tie on a cache-resident loop, LRU-like
 policies thrash on loops just above the cache while insertion policies
 (LIP/DIP) survive them, and FIFO trails LRU on reuse-heavy workloads.
+
+The grid runs through :mod:`repro.runner`; pass ``--jobs N`` to fan the
+(policy x workload) cells over worker processes.  A companion test
+times the serial path against the parallel path and records the speedup
+in ``benchmarks/results/e3_runner_speedup.txt``.
 """
+
+import os
+import time
 
 import pytest
 
 from repro.cache import CacheConfig
 from repro.eval import miss_ratio_matrix
+from repro.runner import clear_memo
 from repro.util.tables import format_table
 from repro.workloads import workload_suite
 
@@ -19,13 +28,14 @@ POLICIES = ["lru", "fifo", "plru", "bitplru", "nru", "srrip", "lip", "dip", "ran
 CONFIG = CacheConfig("L2", 64 * 1024, 8)  # 1024 lines
 
 
-def compute_matrix():
+def compute_matrix(jobs: int = 0, memoize: bool = True):
     traces = workload_suite(cache_lines=CONFIG.num_sets * CONFIG.ways, seed=0)
-    return miss_ratio_matrix(traces, CONFIG, POLICIES, seed=0)
+    return miss_ratio_matrix(traces, CONFIG, POLICIES, seed=0, jobs=jobs,
+                             memoize=memoize)
 
 
-def test_e3_missratio_matrix(benchmark, save_result):
-    matrix = benchmark.pedantic(compute_matrix, rounds=1, iterations=1)
+def test_e3_missratio_matrix(benchmark, save_result, jobs):
+    matrix = benchmark.pedantic(compute_matrix, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["workload"] + matrix.policies(),
         matrix.rows(),
@@ -52,3 +62,47 @@ def test_e3_simulation_throughput(benchmark):
 
     stats = benchmark(lambda: simulate_trace(trace, CONFIG, "plru"))
     assert stats.accesses == len(trace)
+
+
+def test_e3_runner_speedup(save_result, jobs):
+    """Acceptance timing: the E3 grid, serial versus parallel.
+
+    Records wall-clock seconds for the serial path and for the parallel
+    runner (``--jobs`` when given, else one worker per core, capped at
+    4).  The >= 2x assertion only applies on machines with at least four
+    cores and four workers — on smaller runners the numbers are recorded
+    but not asserted, since the speedup cannot physically appear.
+    """
+    cores = os.cpu_count() or 1
+    workers = jobs if jobs and jobs > 1 else min(4, cores)
+
+    clear_memo()
+    start = time.perf_counter()
+    serial_matrix = compute_matrix(jobs=0, memoize=False)
+    serial_seconds = time.perf_counter() - start
+
+    clear_memo()
+    start = time.perf_counter()
+    parallel_matrix = compute_matrix(jobs=workers, memoize=False)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    table = format_table(
+        ["mode", "cells", "seconds", "speedup"],
+        [
+            ["serial", len(serial_matrix.cells), f"{serial_seconds:.3f}", "1.00x"],
+            [
+                f"jobs={workers}",
+                len(parallel_matrix.cells),
+                f"{parallel_seconds:.3f}",
+                f"{speedup:.2f}x",
+            ],
+        ],
+        title=f"E3 runner speedup ({cores} cores)",
+    )
+    save_result("e3_runner_speedup", table)
+
+    # Determinism is unconditional; the speedup bar needs the cores.
+    assert serial_matrix == parallel_matrix
+    if cores >= 4 and workers >= 4:
+        assert speedup >= 2.0, f"expected >= 2x with jobs={workers}, got {speedup:.2f}x"

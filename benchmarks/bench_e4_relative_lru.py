@@ -17,12 +17,12 @@ SIZES = [8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
 TRACE = cyclic_loop(640, iterations=12)  # 40 KiB footprint
 
 
-def compute_sweep():
-    return cache_size_sweep(TRACE, SIZES, POLICIES, ways=8)
+def compute_sweep(jobs: int = 0):
+    return cache_size_sweep(TRACE, SIZES, POLICIES, ways=8, jobs=jobs)
 
 
-def test_e4_relative_to_lru(benchmark, save_result):
-    points = benchmark.pedantic(compute_sweep, rounds=1, iterations=1)
+def test_e4_relative_to_lru(benchmark, save_result, jobs):
+    points = benchmark.pedantic(compute_sweep, args=(jobs,), rounds=1, iterations=1)
 
     def ratio(policy, size):
         return next(

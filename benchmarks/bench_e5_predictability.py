@@ -13,23 +13,29 @@ import pytest
 
 from repro.eval import predictability_of_policy
 from repro.policies import make_policy
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 POLICIES = ["lru", "fifo", "plru", "bitplru", "nru", "srrip", "qlru_h00_m1", "random"]
 WAYS = [2, 4, 8]
 
 
-def compute_metrics():
-    results = []
-    for ways in WAYS:
-        for name in POLICIES:
-            policy = make_policy(name, ways)
-            results.append(predictability_of_policy(name, policy))
-    return results
+def _metric_cell(task: tuple[str, int]):
+    """One (policy, ways) predictability computation (runner cell)."""
+    name, ways = task
+    return predictability_of_policy(name, make_policy(name, ways))
 
 
-def test_e5_predictability(benchmark, save_result):
-    results = benchmark.pedantic(compute_metrics, rounds=1, iterations=1)
+def compute_metrics(jobs: int = 0):
+    cells = [(name, ways) for ways in WAYS for name in POLICIES]
+    runner = ExperimentRunner(jobs=jobs)
+    return runner.map(
+        _metric_cell, cells, labels=[f"{name}/{ways}w" for name, ways in cells]
+    )
+
+
+def test_e5_predictability(benchmark, save_result, jobs):
+    results = benchmark.pedantic(compute_metrics, args=(jobs,), rounds=1, iterations=1)
     rows = [
         [
             r.policy,

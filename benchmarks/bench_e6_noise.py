@@ -19,6 +19,7 @@ from repro.hardware import (
     NoiseModel,
     ProcessorSpec,
 )
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 RATES = [0.0, 0.002, 0.005, 0.01, 0.02, 0.05]
@@ -35,7 +36,9 @@ def noisy_processor(rate: float) -> ProcessorSpec:
     )
 
 
-def attempt(rate: float, repetitions: int, seed: int) -> bool:
+def attempt(task: tuple[float, int, int]) -> bool:
+    """One (rate, repetitions, seed) inference attempt (runner cell)."""
+    rate, repetitions, seed = task
     platform = HardwarePlatform(noisy_processor(rate), seed=seed)
     oracle = HardwareSetOracle(platform, "L1", max_blocks=96)
     if repetitions > 1:
@@ -44,19 +47,29 @@ def attempt(rate: float, repetitions: int, seed: int) -> bool:
     return finding.policy_name == "plru"
 
 
-def run_sweep():
+def run_sweep(jobs: int = 0):
+    cells = [
+        (rate, repetitions, seed)
+        for rate in RATES
+        for repetitions in (1, 7)
+        for seed in SEEDS
+    ]
+    runner = ExperimentRunner(jobs=jobs)
+    verdicts = dict(zip(cells, runner.map(
+        attempt, cells, labels=[f"r{rate:g}/x{reps}/s{seed}" for rate, reps, seed in cells]
+    )))
     rows = []
     for rate in RATES:
-        single = sum(attempt(rate, 1, seed) for seed in SEEDS)
-        repeated = sum(attempt(rate, 7, seed) for seed in SEEDS)
+        single = sum(verdicts[(rate, 1, seed)] for seed in SEEDS)
+        repeated = sum(verdicts[(rate, 7, seed)] for seed in SEEDS)
         rows.append(
             [f"{rate:g}", f"{single}/{len(SEEDS)}", f"{repeated}/{len(SEEDS)}"]
         )
     return rows
 
 
-def test_e6_noise_robustness(benchmark, save_result):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def test_e6_noise_robustness(benchmark, save_result, jobs):
+    rows = benchmark.pedantic(run_sweep, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["noise rate", "single shot", "7x min-aggregated"],
         rows,

@@ -15,25 +15,33 @@ import pytest
 
 from repro.core import InferenceConfig, PermutationInference, SimulatedSetOracle
 from repro.policies import make_policy
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 
-def strategy_rows():
-    rows = []
-    for ways in (4, 8, 16):
-        for strategy in ("linear", "binary"):
-            oracle = SimulatedSetOracle(make_policy("plru", ways))
-            result = PermutationInference(
-                oracle,
-                config=InferenceConfig(strategy=strategy, verify_sequences=10),
-            ).infer()
-            assert result.succeeded
-            rows.append([ways, strategy, result.measurements, result.accesses])
-    return rows
+def _strategy_cell(task: tuple[int, str]) -> list[object]:
+    """One (ways, probe strategy) inference (runner cell)."""
+    ways, strategy = task
+    oracle = SimulatedSetOracle(make_policy("plru", ways))
+    result = PermutationInference(
+        oracle,
+        config=InferenceConfig(strategy=strategy, verify_sequences=10),
+    ).infer()
+    assert result.succeeded
+    return [ways, strategy, result.measurements, result.accesses]
 
 
-def test_e7_strategy_ablation(benchmark, save_result):
-    rows = benchmark.pedantic(strategy_rows, rounds=1, iterations=1)
+def strategy_rows(jobs: int = 0):
+    cells = [(ways, strategy) for ways in (4, 8, 16)
+             for strategy in ("linear", "binary")]
+    runner = ExperimentRunner(jobs=jobs)
+    return runner.map(
+        _strategy_cell, cells, labels=[f"{ways}w/{s}" for ways, s in cells]
+    )
+
+
+def test_e7_strategy_ablation(benchmark, save_result, jobs):
+    rows = benchmark.pedantic(strategy_rows, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["ways", "strategy", "measurements", "accesses"],
         rows,
@@ -49,26 +57,30 @@ def test_e7_strategy_ablation(benchmark, save_result):
     assert saving_16 >= saving_8
 
 
-def thrash_rows():
-    rows = []
-    for factor in (0, 1, 2):
-        oracle = SimulatedSetOracle(make_policy("plru", 8))
-        result = PermutationInference(
-            oracle,
-            config=InferenceConfig(thrash_factor=factor, verify_sequences=10),
-        ).infer()
-        rows.append(
-            [
-                factor,
-                "ok" if result.succeeded else f"fails ({result.failure_reason})",
-                result.measurements,
-            ]
-        )
-    return rows
+def _thrash_cell(factor: int) -> list[object]:
+    """One thrash-prefix ablation inference (runner cell)."""
+    oracle = SimulatedSetOracle(make_policy("plru", 8))
+    result = PermutationInference(
+        oracle,
+        config=InferenceConfig(thrash_factor=factor, verify_sequences=10),
+    ).infer()
+    return [
+        factor,
+        "ok" if result.succeeded else f"fails ({result.failure_reason})",
+        result.measurements,
+    ]
 
 
-def test_e7_thrash_prefix_ablation(benchmark, save_result):
-    rows = benchmark.pedantic(thrash_rows, rounds=1, iterations=1)
+def thrash_rows(jobs: int = 0):
+    factors = (0, 1, 2)
+    runner = ExperimentRunner(jobs=jobs)
+    return runner.map(
+        _thrash_cell, factors, labels=[f"thrash-{f}" for f in factors]
+    )
+
+
+def test_e7_thrash_prefix_ablation(benchmark, save_result, jobs):
+    rows = benchmark.pedantic(thrash_rows, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["thrash factor", "outcome", "measurements"],
         rows,

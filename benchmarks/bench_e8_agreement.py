@@ -13,18 +13,19 @@ import pytest
 from repro.core.distinguish import bfs_distinguishing_sequence
 from repro.eval import agreement_matrix
 from repro.policies import make_policy
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 POLICIES = ["lru", "fifo", "plru", "bitplru", "nru", "srrip"]
 
 
-def compute_agreement():
+def compute_agreement(jobs: int = 0):
     policies = {name: make_policy(name, 8) for name in POLICIES}
-    return agreement_matrix(policies, accesses=30_000, seed=0)
+    return agreement_matrix(policies, accesses=30_000, seed=0, jobs=jobs)
 
 
-def test_e8_agreement_matrix(benchmark, save_result):
-    matrix = benchmark.pedantic(compute_agreement, rounds=1, iterations=1)
+def test_e8_agreement_matrix(benchmark, save_result, jobs):
+    matrix = benchmark.pedantic(compute_agreement, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["policy"] + list(matrix.policies),
         matrix.rows(),
@@ -42,21 +43,31 @@ def test_e8_agreement_matrix(benchmark, save_result):
     assert matrix.value("plru", "lru") > matrix.value("fifo", "lru")
 
 
-def shortest_distinguishers():
-    rows = []
-    for i, first in enumerate(POLICIES):
-        for second in POLICIES[i + 1 :]:
-            probe = bfs_distinguishing_sequence(
-                make_policy(first, 4), make_policy(second, 4), max_depth=10
-            )
-            rows.append(
-                [first, second, len(probe) if probe else "> 10", probe or ""]
-            )
-    return rows
+def _distinguisher_cell(task: tuple[str, str]) -> list[object]:
+    """Shortest distinguishing probe for one policy pair (runner cell)."""
+    first, second = task
+    probe = bfs_distinguishing_sequence(
+        make_policy(first, 4), make_policy(second, 4), max_depth=10
+    )
+    return [first, second, len(probe) if probe else "> 10", probe or ""]
 
 
-def test_e8_shortest_distinguishing_probes(benchmark, save_result):
-    rows = benchmark.pedantic(shortest_distinguishers, rounds=1, iterations=1)
+def shortest_distinguishers(jobs: int = 0):
+    pairs = [
+        (first, second)
+        for i, first in enumerate(POLICIES)
+        for second in POLICIES[i + 1 :]
+    ]
+    runner = ExperimentRunner(jobs=jobs)
+    return runner.map(
+        _distinguisher_cell, pairs, labels=[f"{a}-vs-{b}" for a, b in pairs]
+    )
+
+
+def test_e8_shortest_distinguishing_probes(benchmark, save_result, jobs):
+    rows = benchmark.pedantic(
+        shortest_distinguishers, args=(jobs,), rounds=1, iterations=1
+    )
     table = format_table(
         ["policy A", "policy B", "probe length", "probe"],
         rows,

@@ -13,6 +13,7 @@ import pytest
 from repro.core.adaptive import AdaptivitySurvey
 from repro.hardware import HardwarePlatform, HardwareSetOracle, get_processor
 from repro.policies.dueling import DuelController
+from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
 
 #: (processor, level, sampled set indices are chosen below)
@@ -22,43 +23,55 @@ TARGETS = [
 ]
 
 
-def survey_all():
+def _survey_cell(task: tuple[str, str]):
+    """Survey one (processor, level) target on a fresh platform."""
+    processor, level = task
+    spec = get_processor(processor)
+    platform = HardwarePlatform(spec, seed=0)
+    config = platform.level_config(level)
+    controller = DuelController(config.num_sets)
+    leaders = [s for s in range(config.num_sets) if controller.is_primary_leader(s)]
+    seconds = [s for s in range(config.num_sets) if controller.is_secondary_leader(s)]
+    # Sample: one true primary leader, one secondary, four followers.
+    sample = [leaders[0], seconds[0]] + [5, 33, 301, 523]
+    survey = AdaptivitySurvey(
+        lambda set_index: HardwareSetOracle(
+            platform, level, set_index=set_index, max_blocks=128
+        ),
+        ways=config.ways,
+        level=level,
+    )
+    report = survey.survey(sample)
+    rows = []
+    for classification in report.classifications:
+        rows.append(
+            [
+                processor,
+                level,
+                classification.set_index,
+                classification.kind,
+                classification.policy_name or "-",
+            ]
+        )
+    rows.append([processor, level, "->", report.summary(), ""])
+    return rows, report
+
+
+def survey_all(jobs: int = 0):
+    runner = ExperimentRunner(jobs=jobs)
+    surveyed = runner.map(
+        _survey_cell, TARGETS, labels=[f"{proc}/{level}" for proc, level in TARGETS]
+    )
     rows = []
     verdicts = {}
-    for processor, level in TARGETS:
-        spec = get_processor(processor)
-        platform = HardwarePlatform(spec, seed=0)
-        config = platform.level_config(level)
-        controller = DuelController(config.num_sets)
-        leaders = [s for s in range(config.num_sets) if controller.is_primary_leader(s)]
-        seconds = [s for s in range(config.num_sets) if controller.is_secondary_leader(s)]
-        # Sample: one true primary leader, one secondary, four followers.
-        sample = [leaders[0], seconds[0]] + [5, 33, 301, 523]
-        survey = AdaptivitySurvey(
-            lambda set_index: HardwareSetOracle(
-                platform, level, set_index=set_index, max_blocks=128
-            ),
-            ways=config.ways,
-            level=level,
-        )
-        report = survey.survey(sample)
+    for (processor, _level), (cell_rows, report) in zip(TARGETS, surveyed):
+        rows.extend(cell_rows)
         verdicts[processor] = report
-        for classification in report.classifications:
-            rows.append(
-                [
-                    processor,
-                    level,
-                    classification.set_index,
-                    classification.kind,
-                    classification.policy_name or "-",
-                ]
-            )
-        rows.append([processor, level, "->", report.summary(), ""])
     return rows, verdicts
 
 
-def test_e9_adaptivity_survey(benchmark, save_result):
-    rows, verdicts = benchmark.pedantic(survey_all, rounds=1, iterations=1)
+def test_e9_adaptivity_survey(benchmark, save_result, jobs):
+    rows, verdicts = benchmark.pedantic(survey_all, args=(jobs,), rounds=1, iterations=1)
     table = format_table(
         ["processor", "level", "set", "kind", "policy"],
         rows,

@@ -16,6 +16,23 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=0,
+        help="worker processes for experiment grids (0 = serial); results "
+        "are bit-identical in both modes (see repro.runner)",
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request) -> int:
+    """Worker count for the experiment runner (0 = serial default)."""
+    return request.config.getoption("--jobs")
+
+
 @pytest.fixture(scope="session")
 def save_result():
     """Persist an experiment table and echo it to stdout."""

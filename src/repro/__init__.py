@@ -21,7 +21,8 @@ Package map:
 * :mod:`repro.hardware` — simulated processors, counters, the harness;
 * :mod:`repro.core` — the inference algorithms (the paper's contribution);
 * :mod:`repro.workloads` — trace generators and app models;
-* :mod:`repro.eval` — performance and predictability evaluation.
+* :mod:`repro.eval` — performance and predictability evaluation;
+* :mod:`repro.runner` — deterministic parallel experiment runner.
 """
 
 from repro.cache import Cache, CacheConfig, CacheHierarchy
@@ -59,6 +60,7 @@ from repro.policies import (
     available_policies,
     make_policy,
 )
+from repro.runner import ExperimentRunner, SimCell, run_sim_cells
 from repro.workloads import APP_MODELS, Trace, workload_suite
 
 __version__ = "1.0.0"
@@ -89,6 +91,9 @@ __all__ = [
     "Trace",
     "APP_MODELS",
     "workload_suite",
+    "ExperimentRunner",
+    "SimCell",
+    "run_sim_cells",
     "ReproError",
     "ConfigurationError",
     "SimulationError",

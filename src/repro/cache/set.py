@@ -33,14 +33,14 @@ class CacheSet:
         self.policy = policy
         self._tags: list[int | None] = [None] * ways
         self._dirty: list[bool] = [False] * ways
+        # Inverse index of _tags; every access starts with a lookup, so the
+        # O(ways) scan here used to dominate whole-trace simulation time.
+        self._way_of: dict[int, int] = {}
 
     # -- queries that do not disturb state --------------------------------
     def lookup(self, tag: int) -> int | None:
         """Return the way holding ``tag``, or None, without side effects."""
-        for way, resident in enumerate(self._tags):
-            if resident == tag:
-                return way
-        return None
+        return self._way_of.get(tag)
 
     def contents(self) -> list[int | None]:
         """Return the tag in each way (None = invalid)."""
@@ -48,12 +48,12 @@ class CacheSet:
 
     def resident_tags(self) -> set[int]:
         """Return the set of valid tags."""
-        return {tag for tag in self._tags if tag is not None}
+        return set(self._way_of)
 
     @property
     def full(self) -> bool:
         """True when every way holds a valid line."""
-        return all(tag is not None for tag in self._tags)
+        return len(self._way_of) == self.ways
 
     # -- state-changing operations ----------------------------------------
     def touch_tag(self, tag: int, write: bool = False) -> int | None:
@@ -100,8 +100,11 @@ class CacheSet:
             way = self.policy.evict()
             evicted_tag = self._tags[way]
             evicted_dirty = self._dirty[way]
+            if evicted_tag is not None:
+                del self._way_of[evicted_tag]
         self._tags[way] = tag
         self._dirty[way] = write
+        self._way_of[tag] = way
         self.policy.fill(way)
         return SetAccessResult(
             hit=False, way=way, evicted_tag=evicted_tag, evicted_dirty=evicted_dirty
@@ -118,12 +121,14 @@ class CacheSet:
             return False
         self._tags[way] = None
         self._dirty[way] = False
+        del self._way_of[tag]
         return True
 
     def flush(self) -> None:
         """Invalidate every line and reset the replacement state."""
         self._tags = [None] * self.ways
         self._dirty = [False] * self.ways
+        self._way_of = {}
         self.policy.reset()
 
     def preload(self, tags: list[int | None]) -> None:
@@ -139,12 +144,14 @@ class CacheSet:
             raise SimulationError("duplicate tags in preload")
         self._tags = list(tags)
         self._dirty = [False] * self.ways
+        self._way_of = {tag: way for way, tag in enumerate(tags) if tag is not None}
 
     def clone(self) -> "CacheSet":
         """Deep copy: cloned policy, copied tag and dirty arrays."""
         copy = CacheSet(self.ways, self.policy.clone())
         copy._tags = list(self._tags)
         copy._dirty = list(self._dirty)
+        copy._way_of = dict(self._way_of)
         return copy
 
     def state_key(self):

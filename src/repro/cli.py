@@ -5,6 +5,7 @@ Subcommands mirror the library's two halves:
 * ``list-processors`` / ``list-policies`` — inventory;
 * ``infer`` — reverse engineer one cache of a simulated processor;
 * ``evaluate`` — miss-ratio table of policies over the workload suite;
+* ``bench`` — the same grid as a timed throughput benchmark (``--jobs``);
 * ``predictability`` — evict/fill metrics table.
 """
 
@@ -12,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.cache import CacheConfig
@@ -27,6 +29,7 @@ from repro.hardware import (
     get_processor,
 )
 from repro.policies import available_policies, make_policy
+from repro.runner import ExperimentRunner, clear_memo
 from repro.util.tables import format_table
 from repro.workloads import workload_suite
 
@@ -81,9 +84,48 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     cache_lines = config.num_sets * config.ways
     traces = workload_suite(cache_lines, seed=args.seed)
     policies = args.policies.split(",")
-    matrix = miss_ratio_matrix(traces, config, policies, seed=args.seed)
+    matrix = miss_ratio_matrix(traces, config, policies, seed=args.seed,
+                               jobs=args.jobs)
     print(format_table(["workload"] + matrix.policies(), matrix.rows(),
                        title=f"miss ratios @ {config.describe()}"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Timed run of the evaluation grid through the experiment runner."""
+    config = CacheConfig("bench", args.size, args.ways, args.line_size)
+    cache_lines = config.num_sets * config.ways
+    traces = workload_suite(cache_lines, seed=args.seed)
+    policies = args.policies.split(",")
+    rows = []
+    matrix = None
+    for repetition in range(args.repeat):
+        clear_memo()  # time real simulation work, not cache hits
+        runner = ExperimentRunner(jobs=args.jobs)
+        start = time.perf_counter()
+        matrix = miss_ratio_matrix(
+            traces, config, policies, seed=args.seed, runner=runner
+        )
+        elapsed = time.perf_counter() - start
+        cells = len(matrix.cells)
+        mode = f"jobs={args.jobs}" if args.jobs and args.jobs > 1 else "serial"
+        rows.append(
+            [
+                repetition + 1,
+                mode,
+                cells,
+                f"{elapsed:.3f}",
+                f"{cells / elapsed:.1f}" if elapsed else "-",
+            ]
+        )
+    print(format_table(
+        ["run", "mode", "cells", "seconds", "cells/s"],
+        rows,
+        title=f"runner throughput @ {config.describe()}",
+    ))
+    if args.show_matrix and matrix is not None:
+        print(format_table(["workload"] + matrix.policies(), matrix.rows(),
+                           title="miss ratios"))
     return 0
 
 
@@ -147,6 +189,26 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--ways", type=int, default=8)
     evaluate.add_argument("--line-size", type=int, default=64)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--jobs", type=int, default=0,
+                          help="worker processes for the grid (0 = serial)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="timed miss-ratio grid through the parallel experiment runner",
+        description="Run the evaluate grid as a benchmark and report "
+        "wall-clock throughput; compare --jobs N against the serial default.",
+    )
+    bench.add_argument("--policies", default="lru,fifo,plru,bitplru,srrip,random")
+    bench.add_argument("--size", type=int, default=64 * 1024)
+    bench.add_argument("--ways", type=int, default=8)
+    bench.add_argument("--line-size", type=int, default=64)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for the grid (0 = serial)")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="repeat the timed grid this many times")
+    bench.add_argument("--show-matrix", action="store_true",
+                       help="also print the resulting miss-ratio table")
 
     predict = sub.add_parser("predictability", help="evict/fill metrics table")
     predict.add_argument("--policies", default="lru,fifo,plru,bitplru,nru")
@@ -174,6 +236,7 @@ _COMMANDS = {
     "list-policies": _cmd_list_policies,
     "infer": _cmd_infer,
     "evaluate": _cmd_evaluate,
+    "bench": _cmd_bench,
     "predictability": _cmd_predictability,
     "query": _cmd_query,
 }

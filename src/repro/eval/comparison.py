@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.core.distinguish import established_set
 from repro.policies import ReplacementPolicy
+from repro.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -37,16 +38,32 @@ class AgreementMatrix:
         return result
 
 
+def _replay_stream(task: tuple[ReplacementPolicy, list[int]]) -> list[bool]:
+    """Replay one access stream against one policy's established set.
+
+    Module-level so the experiment runner can ship it to worker
+    processes; :func:`established_set` clones and resets the policy, so
+    replays are pure functions of (policy state, stream).
+    """
+    policy, stream = task
+    cache_set = established_set(policy)
+    return [cache_set.access(block).hit for block in stream]
+
+
 def agreement_matrix(
     policies: dict[str, ReplacementPolicy],
     accesses: int = 20_000,
     seed: int = 0,
+    jobs: int | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> AgreementMatrix:
     """Measure pairwise hit/miss agreement on one random access stream.
 
     All policies replay the identical stream from their established
     state; the stream mixes fresh blocks with reuse of a recent window,
-    like the verification traces of the inference pipeline.
+    like the verification traces of the inference pipeline.  Replays are
+    independent per policy, so ``jobs``/``runner`` can distribute them;
+    the outcome vectors are identical either way.
     """
     names = tuple(sorted(policies))
     ways_values = {policies[name].ways for name in names}
@@ -54,8 +71,6 @@ def agreement_matrix(
         raise ValueError("all compared policies must share one associativity")
     ways = ways_values.pop()
     rng = random.Random(seed)
-    sets = {name: established_set(policies[name]) for name in names}
-    outcomes: dict[str, list[bool]] = {name: [] for name in names}
     next_fresh = ways
     window = ways + 3
     stream = []
@@ -66,9 +81,14 @@ def agreement_matrix(
         else:
             block = max(next_fresh - 1 - rng.randrange(window), 0)
         stream.append(block)
-    for name in names:
-        cache_set = sets[name]
-        outcomes[name] = [cache_set.access(block).hit for block in stream]
+    if runner is None:
+        runner = ExperimentRunner(jobs=jobs)
+    replayed = runner.map(
+        _replay_stream,
+        [(policies[name], stream) for name in names],
+        labels=[f"replay:{name}" for name in names],
+    )
+    outcomes = dict(zip(names, replayed))
     matrix = []
     for first in names:
         row = []

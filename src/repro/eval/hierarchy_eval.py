@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.cache import CacheConfig, CacheHierarchy
 from repro.errors import ConfigurationError
 from repro.policies import PolicyFactory
+from repro.runner import ExperimentRunner
 from repro.util.rng import SeededRng
 from repro.workloads.trace import Trace
 
@@ -90,24 +91,41 @@ def evaluate_hierarchy(
     )
 
 
+def _evaluate_assignment(task) -> HierarchyEvaluation:
+    """Worker entry point: one labelled assignment through one hierarchy."""
+    trace, configs, policies, latencies, label, seed = task
+    return evaluate_hierarchy(
+        trace, configs, policies, latencies=latencies, label=label, seed=seed
+    )
+
+
 def compare_policy_assignments(
     trace: Trace,
     configs: Sequence[CacheConfig],
     assignments: Mapping[str, Sequence[str | PolicyFactory]],
     latencies: Mapping[str, int] | None = None,
     seed: int = 0,
+    jobs: int | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> list[HierarchyEvaluation]:
-    """Evaluate several named per-level policy assignments on one trace."""
-    results = []
+    """Evaluate several named per-level policy assignments on one trace.
+
+    Each assignment simulates an independent hierarchy, so
+    ``jobs``/``runner`` can spread them over worker processes with
+    results identical to the serial default.
+    """
     for label, policies in assignments.items():
         if len(policies) != len(configs):
             raise ConfigurationError(
                 f"assignment {label!r} has {len(policies)} policies for "
                 f"{len(configs)} levels"
             )
-        results.append(
-            evaluate_hierarchy(
-                trace, configs, policies, latencies=latencies, label=label, seed=seed
-            )
-        )
-    return results
+    if runner is None:
+        runner = ExperimentRunner(jobs=jobs)
+    tasks = [
+        (trace, tuple(configs), tuple(policies), latencies, label, seed)
+        for label, policies in assignments.items()
+    ]
+    return runner.map(
+        _evaluate_assignment, tasks, labels=[task[4] for task in tasks]
+    )

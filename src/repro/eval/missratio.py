@@ -4,15 +4,23 @@ The performance half of the paper's evaluation: run workload traces
 through caches configured with each policy and compare miss ratios.
 Provides single runs, (policy x workload) matrices and cache-size sweeps
 — the data behind experiments E3 and E4.
+
+Grid entry points (:func:`miss_ratio_matrix`, :func:`cache_size_sweep`)
+accept ``jobs=``/``runner=`` and fan their cells out through
+:mod:`repro.runner`; the default stays serial, and the parallel path is
+guaranteed to produce bit-identical results (see the runner's module
+docstring for why).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.cache import Cache, CacheConfig, CacheStats
 from repro.policies import PolicyFactory
+from repro.runner import ExperimentRunner, SimCell, run_sim_cells
 from repro.util.rng import SeededRng
 from repro.workloads.trace import Trace
 
@@ -58,12 +66,21 @@ class MissRatioMatrix:
     config: CacheConfig
     cells: tuple[MissRatioCell, ...]
 
+    @cached_property
+    def _index(self) -> dict[tuple[str, str], MissRatioCell]:
+        """(policy, trace) -> cell, built once; rendering is O(cells)."""
+        return {(cell.policy, cell.trace): cell for cell in self.cells}
+
+    def cell(self, policy: str, trace: str) -> MissRatioCell:
+        """Look up one cell."""
+        try:
+            return self._index[(policy, trace)]
+        except KeyError:
+            raise KeyError(f"no cell for policy={policy!r} trace={trace!r}") from None
+
     def ratio(self, policy: str, trace: str) -> float:
         """Look up one cell's miss ratio."""
-        for cell in self.cells:
-            if cell.policy == policy and cell.trace == trace:
-                return cell.miss_ratio
-        raise KeyError(f"no cell for policy={policy!r} trace={trace!r}")
+        return self.cell(policy, trace).miss_ratio
 
     def policies(self) -> list[str]:
         """Policy names, in first-seen order."""
@@ -97,22 +114,30 @@ class MissRatioMatrix:
         Traces on which the baseline has zero misses keep an absolute 1.0
         for the baseline and report ``inf``-free ratios by treating the
         baseline as one miss (conservative, documented in EXPERIMENTS.md).
+        The raw ``misses``/``accesses`` counts are carried through from
+        the source cells, so the conservative denominator stays correct
+        even when applied to an already-relative matrix.
         """
         cells = []
         for trace in self.traces():
-            base = self.ratio(baseline, trace)
+            base_cell = self.cell(baseline, trace)
+            base = base_cell.miss_ratio
+            # "One miss" on this trace, in miss-ratio units.
+            one_miss = 1.0 / max(1, base_cell.accesses)
+            denominator = base if base > 0 else one_miss
             for policy in self.policies():
-                cell_ratio = self.ratio(policy, trace)
-                denominator = base if base > 0 else 1.0 / max(
-                    1, next(c.accesses for c in self.cells if c.trace == trace)
-                )
+                source = self.cell(policy, trace)
+                if policy == baseline:
+                    relative = 1.0
+                else:
+                    relative = source.miss_ratio / denominator
                 cells.append(
                     MissRatioCell(
                         policy=policy,
                         trace=trace,
-                        miss_ratio=cell_ratio / denominator,
-                        misses=0,
-                        accesses=0,
+                        miss_ratio=relative,
+                        misses=source.misses,
+                        accesses=source.accesses,
                     )
                 )
         return MissRatioMatrix(config=self.config, cells=tuple(cells))
@@ -123,23 +148,34 @@ def miss_ratio_matrix(
     config: CacheConfig,
     policies: Sequence[str | PolicyFactory],
     seed: int = 0,
+    jobs: int | None = None,
+    runner: ExperimentRunner | None = None,
+    memoize: bool = True,
 ) -> MissRatioMatrix:
-    """Evaluate every policy on every trace at one cache configuration."""
-    cells = []
-    for policy in policies:
-        name = policy if isinstance(policy, str) else policy.name
-        for trace in traces:
-            stats = simulate_trace(trace, config, policy, seed)
-            cells.append(
-                MissRatioCell(
-                    policy=name,
-                    trace=trace.name,
-                    miss_ratio=stats.miss_ratio,
-                    misses=stats.misses,
-                    accesses=stats.accesses,
-                )
+    """Evaluate every policy on every trace at one cache configuration.
+
+    ``jobs`` > 1 (or a parallel ``runner``) distributes the grid over
+    worker processes; results are bit-identical to the serial default.
+    """
+    cells = [
+        SimCell.make(trace, config, policy, seed)
+        for policy in policies
+        for trace in traces
+    ]
+    results = run_sim_cells(cells, runner=runner, jobs=jobs, memoize=memoize)
+    return MissRatioMatrix(
+        config=config,
+        cells=tuple(
+            MissRatioCell(
+                policy=result.policy,
+                trace=result.trace,
+                miss_ratio=result.stats.miss_ratio,
+                misses=result.stats.misses,
+                accesses=result.stats.accesses,
             )
-    return MissRatioMatrix(config=config, cells=tuple(cells))
+            for result in results
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -158,18 +194,22 @@ def cache_size_sweep(
     ways: int = 8,
     line_size: int = 64,
     seed: int = 0,
+    jobs: int | None = None,
+    runner: ExperimentRunner | None = None,
+    memoize: bool = True,
 ) -> list[SweepPoint]:
     """Miss ratio of each policy at several cache sizes (experiment E4)."""
-    points = []
-    for size in sizes:
-        config = CacheConfig("sweep", size, ways, line_size)
-        for policy in policies:
-            name = policy if isinstance(policy, str) else policy.name
-            points.append(
-                SweepPoint(
-                    policy=name,
-                    cache_size=size,
-                    miss_ratio=miss_ratio(trace, config, policy, seed),
-                )
-            )
-    return points
+    cells = [
+        SimCell.make(trace, CacheConfig("sweep", size, ways, line_size), policy, seed)
+        for size in sizes
+        for policy in policies
+    ]
+    results = run_sim_cells(cells, runner=runner, jobs=jobs, memoize=memoize)
+    return [
+        SweepPoint(
+            policy=result.policy,
+            cache_size=cell.config.size,
+            miss_ratio=result.stats.miss_ratio,
+        )
+        for cell, result in zip(cells, results)
+    ]

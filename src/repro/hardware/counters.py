@@ -54,4 +54,12 @@ class CounterBank:
 
     def delta(self, level: str, event: str, before: dict[tuple[str, str], int]) -> int:
         """Events since ``before`` (a :meth:`snapshot` result)."""
-        return self.read(level, event) - before[(level, event)]
+        current = self.read(level, event)
+        try:
+            earlier = before[(level, event)]
+        except KeyError:
+            raise MeasurementError(
+                f"snapshot has no ({level!r}, {event!r}) counter; "
+                "was it taken on a different hierarchy?"
+            ) from None
+        return current - earlier

@@ -1,0 +1,31 @@
+"""Parallel experiment runner for the evaluation grids.
+
+See :mod:`repro.runner.core` for the scheduling/fault model and
+:mod:`repro.runner.cells` for the simulation cell + memoization layer.
+"""
+
+from repro.runner.cells import (
+    CellResult,
+    SimCell,
+    clear_memo,
+    derive_cell_seed,
+    memo_size,
+    run_sim_cells,
+    simulate_cell,
+    trace_fingerprint,
+)
+from repro.runner.core import CellTiming, ExperimentRunner, ProgressHook
+
+__all__ = [
+    "CellResult",
+    "CellTiming",
+    "ExperimentRunner",
+    "ProgressHook",
+    "SimCell",
+    "clear_memo",
+    "derive_cell_seed",
+    "memo_size",
+    "run_sim_cells",
+    "simulate_cell",
+    "trace_fingerprint",
+]

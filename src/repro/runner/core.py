@@ -1,0 +1,202 @@
+"""Deterministic parallel execution of independent experiment cells.
+
+The evaluation half of the reproduction is dominated by grids of
+independent simulations — (policy x workload x configuration x seed)
+cells for miss-ratio matrices, agreement matrices, noise sweeps and the
+E1-E12 benchmark tables.  :class:`ExperimentRunner` fans such grids out
+over a :class:`concurrent.futures.ProcessPoolExecutor` with chunked
+scheduling while guaranteeing that the result list is *bit-identical* to
+running the cells serially in submission order:
+
+* cells are pure functions of their task value — workers receive the
+  task by pickling, never by shared mutable state;
+* all seeded randomness flows through :class:`repro.util.rng.SeededRng`,
+  whose stream derivation is process-stable (no ``hash()``
+  randomization), so a worker derives exactly the streams the parent
+  would;
+* results are collected by cell index, not completion order.
+
+Failures degrade, never abort: a chunk whose worker dies (or whose task
+cannot be pickled) is retried in a fresh pool, and whatever still fails
+is re-executed serially in the parent process, where a genuine task
+error surfaces with its original traceback.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Timing record of one executed cell, reported to progress hooks.
+
+    ``source`` says how the cell was executed: ``"serial"`` (runner in
+    serial mode), ``"parallel"`` (worker process), ``"fallback"`` (serial
+    re-execution after worker failure) or ``"memo"`` (result served from
+    the memoization cache without running anything).
+    """
+
+    index: int
+    label: str
+    seconds: float
+    source: str
+
+
+#: Hook called once per finished cell with its :class:`CellTiming`.
+ProgressHook = Callable[[CellTiming], None]
+
+
+def _run_chunk(fn, indexed_tasks):
+    """Worker entry point: run one chunk of (index, task) pairs."""
+    results = []
+    for index, task in indexed_tasks:
+        start = time.perf_counter()
+        value = fn(task)
+        results.append((index, value, time.perf_counter() - start))
+    return results
+
+
+class ExperimentRunner:
+    """Ordered, fault-tolerant map over independent experiment cells.
+
+    Args:
+        jobs: worker process count; ``None``, 0 or 1 run serially in the
+            parent process (the default, so existing entry points keep
+            their exact behaviour unless a caller opts in).
+        chunk_size: cells per worker task; defaults to spreading the
+            grid over ``4 * jobs`` chunks so stragglers rebalance.
+        retries: how many times a failed chunk is resubmitted to a fresh
+            pool before the serial fallback runs it in the parent.
+        progress: optional per-cell :data:`ProgressHook`.
+
+    Every completed cell is also appended to :attr:`timings`, which the
+    benchmarks use for their throughput tables.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        chunk_size: int | None = None,
+        retries: int = 1,
+        progress: ProgressHook | None = None,
+    ) -> None:
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.retries = retries
+        self.progress = progress
+        self.timings: list[CellTiming] = []
+
+    @property
+    def parallel(self) -> bool:
+        """True when cells will be dispatched to worker processes."""
+        return self.jobs is not None and self.jobs > 1
+
+    def map(
+        self,
+        fn: Callable,
+        tasks: Iterable,
+        labels: Sequence[str] | None = None,
+    ) -> list:
+        """Apply ``fn`` to every task; return results in task order.
+
+        ``fn`` must be picklable (a module-level function) for the
+        parallel path; the serial path has no such constraint.  A task
+        that raises re-raises in the parent after the retry/fallback
+        ladder is exhausted, so error behaviour matches a plain loop.
+        """
+        tasks = list(tasks)
+        if labels is None:
+            labels = [f"cell-{index}" for index in range(len(tasks))]
+        if len(labels) != len(tasks):
+            raise ValueError(f"{len(tasks)} tasks but {len(labels)} labels")
+        indexed = list(enumerate(tasks))
+        if not self.parallel or len(tasks) <= 1:
+            return self._run_serially(fn, indexed, labels, source="serial")
+
+        results: dict[int, object] = {}
+        pending = self._chunked(indexed)
+        for _attempt in range(1 + max(0, self.retries)):
+            if not pending:
+                break
+            pending = self._run_round(fn, pending, labels, results)
+        if pending:
+            # Last resort: run the survivors in-process.  Deterministic
+            # task errors propagate here with their original traceback.
+            fallback = [pair for chunk in pending for pair in chunk]
+            fallback.sort(key=lambda pair: pair[0])
+            for index, value in zip(
+                (pair[0] for pair in fallback),
+                self._run_serially(fn, fallback, labels, source="fallback"),
+            ):
+                results[index] = value
+        return [results[index] for index in range(len(tasks))]
+
+    # -- internals ---------------------------------------------------------
+    def _run_round(self, fn, chunks, labels, results) -> list:
+        """Submit ``chunks`` to one fresh pool; return the failed ones."""
+        failed: list = []
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                future_of = {
+                    pool.submit(_run_chunk, fn, chunk): chunk for chunk in chunks
+                }
+                remaining = set(future_of)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        chunk = future_of[future]
+                        try:
+                            rows = future.result()
+                        except Exception:
+                            # Worker death, pickling failure, or a task
+                            # error; all retried, then run serially.
+                            failed.append(chunk)
+                            continue
+                        for index, value, seconds in rows:
+                            results[index] = value
+                            self.record(index, labels[index], seconds, "parallel")
+        except Exception:
+            # The pool itself failed to start or broke down wholesale.
+            covered = {id(chunk) for chunk in failed}
+            failed.extend(
+                chunk
+                for chunk in chunks
+                if id(chunk) not in covered
+                and any(index not in results for index, _ in chunk)
+            )
+        return failed
+
+    def _run_serially(self, fn, indexed_tasks, labels, source: str) -> list:
+        values = []
+        for index, task in indexed_tasks:
+            start = time.perf_counter()
+            value = fn(task)
+            self.record(index, labels[index], time.perf_counter() - start, source)
+            values.append(value)
+        return values
+
+    def _chunked(self, indexed_tasks: list) -> list[list]:
+        size = self.chunk_size
+        if size is None:
+            # ~4 chunks per worker balances scheduling overhead against
+            # straggler rebalancing on heterogeneous cell costs.
+            size = max(1, len(indexed_tasks) // (4 * (self.jobs or 1)) or 1)
+        return [
+            indexed_tasks[start : start + size]
+            for start in range(0, len(indexed_tasks), size)
+        ]
+
+    def record(self, index: int, label: str, seconds: float, source: str) -> None:
+        """Append one timing record and notify the progress hook."""
+        timing = CellTiming(index=index, label=label, seconds=seconds, source=source)
+        self.timings.append(timing)
+        if self.progress is not None:
+            self.progress(timing)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = f"jobs={self.jobs}" if self.parallel else "serial"
+        return f"<ExperimentRunner {mode} retries={self.retries}>"

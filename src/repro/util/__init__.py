@@ -1,7 +1,7 @@
 """Small shared utilities: bit manipulation, RNG, statistics, tables."""
 
 from repro.util.bits import is_power_of_two, ilog2, mask, extract_bits
-from repro.util.rng import SeededRng
+from repro.util.rng import SeededRng, derive_seed
 from repro.util.stats import mean, geomean, median, stdev, summarize, Summary
 from repro.util.tables import format_table, format_markdown_table
 
@@ -11,6 +11,7 @@ __all__ = [
     "mask",
     "extract_bits",
     "SeededRng",
+    "derive_seed",
     "mean",
     "geomean",
     "median",

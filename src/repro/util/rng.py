@@ -10,11 +10,27 @@ adding draws in one component does not perturb another.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections.abc import Sequence
 from typing import TypeVar
 
 T = TypeVar("T")
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """Derive a child seed from ``seed`` and any hashable/reprable labels.
+
+    The derivation is a keyed cryptographic hash, so it is stable across
+    interpreter invocations and across processes — unlike the built-in
+    ``hash()``, which is randomized per process by ``PYTHONHASHSEED``.
+    The parallel experiment runner relies on this: a worker process must
+    derive exactly the same per-set and per-component streams as the
+    serial path in the parent.
+    """
+    material = repr((seed,) + labels).encode()
+    digest = hashlib.blake2s(material, digest_size=4).digest()
+    return int.from_bytes(digest, "big")
 
 
 class SeededRng:
@@ -29,10 +45,11 @@ class SeededRng:
 
         The child seed depends only on the parent seed and the label, not
         on how many values the parent has produced, which keeps components
-        decoupled.
+        decoupled.  The derivation is process-stable (see
+        :func:`derive_seed`), so forked streams agree between the serial
+        path and parallel worker processes.
         """
-        child_seed = hash((self.seed, label)) & 0xFFFFFFFF
-        return SeededRng(child_seed)
+        return SeededRng(derive_seed(self.seed, label))
 
     def randint(self, low: int, high: int) -> int:
         """Return a uniform integer in the inclusive range [low, high]."""

@@ -64,6 +64,17 @@ class TestPlatform:
         assert platform.counters.delta("L1", "miss", before) == 1
         assert platform.counters.delta("L1", "access", before) == 1
 
+    def test_delta_missing_key_raises_measurement_error(self):
+        # Regression: a snapshot lacking the (level, event) key used to
+        # escape as a raw KeyError, violating the module's contract that
+        # measurement failures surface as MeasurementError.
+        platform = HardwarePlatform(tiny_processor())
+        with pytest.raises(MeasurementError, match="snapshot"):
+            platform.counters.delta("L1", "miss", {})
+        partial = {("L2", "miss"): 0}
+        with pytest.raises(MeasurementError):
+            platform.counters.delta("L1", "miss", partial)
+
 
 class TestNoise:
     def test_counter_noise_overcounts(self):
