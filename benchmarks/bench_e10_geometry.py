@@ -47,7 +47,15 @@ def test_e10_geometry(benchmark, save_result, jobs):
         rows,
         title="E10: measured vs. data-sheet L1 geometries",
     )
-    save_result("e10_geometry", table)
+    save_result(
+        "e10_geometry",
+        table,
+        data={
+            "columns": ["processor", "measured L1 geometry", "data sheet", "match"],
+            "rows": rows,
+        },
+        params={"processors": sorted(PROCESSORS), "jobs": jobs},
+    )
     assert all(row[3] == "yes" for row in rows)
 
 

@@ -75,7 +75,16 @@ def test_e11_provable_hits(benchmark, save_result, jobs):
         rows,
         title="E11: provable vs observed hits on a loop nest (4-way)",
     )
-    save_result("e11_wcet", table)
+    save_result(
+        "e11_wcet",
+        table,
+        data={
+            "columns": ["policy", "mls", "proven hit fraction", "observed hit ratio"],
+            "rows": rows,
+            "fractions": fractions,
+        },
+        params={"policies": POLICIES, "config": CONFIG.describe(), "jobs": jobs},
+    )
     # The predictability ordering: LRU proves the most, FIFO nothing.
     assert fractions["lru"] >= fractions["plru"] >= fractions["bitplru"]
     assert fractions["bitplru"] > fractions["fifo"]

@@ -81,7 +81,12 @@ def test_e12_eviction_set_discovery(benchmark, save_result, jobs):
         rows,
         title="E12: minimal eviction sets on a hash-indexed (sliced) cache",
     )
-    save_result("e12_evictionsets", table)
+    save_result(
+        "e12_evictionsets",
+        table,
+        data={"cases": results},
+        params={"cases": [list(case) for case in CASES], "jobs": jobs},
+    )
     for r in results:
         assert r["found"] == r["ways"]  # LRU: minimal set = associativity
         assert r["exact"]

@@ -68,11 +68,19 @@ def infer_all(jobs: int = 0) -> list[list[object]]:
 
 def test_e1_inferred_policies(benchmark, save_result, jobs):
     rows = benchmark.pedantic(infer_all, args=(jobs,), rounds=1, iterations=1)
+    columns = [
+        "processor", "level", "geometry", "inferred", "truth", "match", "measurements"
+    ]
     table = format_table(
-        ["processor", "level", "geometry", "inferred", "truth", "match", "measurements"],
+        columns,
         rows,
         title="E1: reverse-engineered replacement policies (simulated catalog)",
     )
-    save_result("e1_inferred_policies", table)
+    save_result(
+        "e1_inferred_policies",
+        table,
+        data={"columns": columns, "rows": rows},
+        params={"processors": sorted(PROCESSORS), "jobs": jobs},
+    )
     mismatches = [row for row in rows if row[5] != "yes"]
     assert not mismatches, f"inference failed on: {mismatches}"

@@ -44,7 +44,12 @@ def test_e2_inference_cost(benchmark, save_result, jobs):
         rows,
         title="E2: permutation-inference cost vs associativity (linear strategy)",
     )
-    save_result("e2_inference_cost", table)
+    save_result(
+        "e2_inference_cost",
+        table,
+        data={"columns": ["policy", "ways", "measurements", "accesses"], "rows": rows},
+        params={"policies": POLICIES, "ways": WAYS, "jobs": jobs},
+    )
     # Shape check: cost grows superlinearly but stays polynomial (< A^4).
     lru = {row[1]: row[2] for row in rows if row[0] == "lru"}
     assert lru[16] > lru[8] > lru[4]

@@ -41,7 +41,12 @@ def test_e3_missratio_matrix(benchmark, save_result, jobs):
         matrix.rows(),
         title=f"E3: miss ratios @ {CONFIG.describe()}",
     )
-    save_result("e3_missratio", table)
+    save_result(
+        "e3_missratio",
+        table,
+        data=matrix.to_experiment_result().data,
+        params={"policies": POLICIES, "config": CONFIG.describe(), "seed": 0},
+    )
 
     # Shape assertions (the paper's qualitative findings).
     assert matrix.ratio("lru", "loop-friendly") == matrix.ratio("fifo", "loop-friendly")
@@ -100,7 +105,18 @@ def test_e3_runner_speedup(save_result, jobs):
         ],
         title=f"E3 runner speedup ({cores} cores)",
     )
-    save_result("e3_runner_speedup", table)
+    save_result(
+        "e3_runner_speedup",
+        table,
+        data={
+            "cells": len(serial_matrix.cells),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "identical": serial_matrix == parallel_matrix,
+        },
+        params={"cores": cores, "workers": workers},
+    )
 
     # Determinism is unconditional; the speedup bar needs the cores.
     assert serial_matrix == parallel_matrix

@@ -41,7 +41,12 @@ def test_e4_relative_to_lru(benchmark, save_result, jobs):
         rows,
         title=f"E4: miss ratio relative to LRU on {TRACE.name} (40 KiB footprint)",
     )
-    save_result("e4_relative_lru", table)
+    save_result(
+        "e4_relative_lru",
+        table,
+        data={"columns": ["cache size"] + POLICIES, "rows": rows},
+        params={"policies": POLICIES, "sizes": SIZES, "trace": TRACE.name, "jobs": jobs},
+    )
 
     # Shape: below the footprint LIP/DIP beat LRU by a large factor ...
     assert ratio("lip", 32 * 1024) < 0.5 * ratio("lru", 32 * 1024)

@@ -51,7 +51,12 @@ def test_e5_predictability(benchmark, save_result, jobs):
         rows,
         title="E5: predictability metrics (smaller = friendlier to WCET analysis)",
     )
-    save_result("e5_predictability", table)
+    save_result(
+        "e5_predictability",
+        table,
+        data={"columns": ["policy", "ways", "evict", "fill", "note"], "rows": rows},
+        params={"policies": POLICIES, "ways": WAYS, "jobs": jobs},
+    )
 
     by_key = {(r.policy, r.ways): r for r in results}
     for ways in WAYS:

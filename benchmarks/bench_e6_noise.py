@@ -75,7 +75,15 @@ def test_e6_noise_robustness(benchmark, save_result, jobs):
         rows,
         title="E6: correct inferences of a PLRU L1 under counter noise",
     )
-    save_result("e6_noise", table)
+    save_result(
+        "e6_noise",
+        table,
+        data={
+            "columns": ["noise rate", "single shot", "7x min-aggregated"],
+            "rows": rows,
+        },
+        params={"rates": RATES, "seeds": SEEDS, "jobs": jobs},
+    )
     by_rate = {row[0]: row for row in rows}
     # Noise-free: both perfect.
     assert by_rate["0"][1] == by_rate["0"][2] == f"{len(SEEDS)}/{len(SEEDS)}"

@@ -47,7 +47,15 @@ def test_e7_strategy_ablation(benchmark, save_result, jobs):
         rows,
         title="E7a: position-measurement strategy ablation (PLRU target)",
     )
-    save_result("e7_strategy_ablation", table)
+    save_result(
+        "e7_strategy_ablation",
+        table,
+        data={
+            "columns": ["ways", "strategy", "measurements", "accesses"],
+            "rows": rows,
+        },
+        params={"target": "plru", "jobs": jobs},
+    )
     cost = {(row[0], row[1]): row[2] for row in rows}
     for ways in (8, 16):
         assert cost[(ways, "binary")] < cost[(ways, "linear")]
@@ -86,7 +94,15 @@ def test_e7_thrash_prefix_ablation(benchmark, save_result, jobs):
         rows,
         title="E7b: establishment thrash-prefix ablation (8-way tree PLRU)",
     )
-    save_result("e7_thrash_ablation", table)
+    save_result(
+        "e7_thrash_ablation",
+        table,
+        data={
+            "columns": ["thrash factor", "outcome", "measurements"],
+            "rows": rows,
+        },
+        params={"target": "plru", "ways": 8, "jobs": jobs},
+    )
     by_factor = {row[0]: row[1] for row in rows}
     # Without the prefix the cold-fill arrangement leaks into the model.
     assert by_factor[0] != "ok"

@@ -31,7 +31,15 @@ def test_e8_agreement_matrix(benchmark, save_result, jobs):
         matrix.rows(),
         title="E8a: pairwise hit/miss agreement on one random stream (8-way)",
     )
-    save_result("e8_agreement", table)
+    save_result(
+        "e8_agreement",
+        table,
+        data={
+            "columns": ["policy"] + list(matrix.policies),
+            "rows": matrix.rows(),
+        },
+        params={"policies": POLICIES, "ways": 8, "accesses": 30_000, "jobs": jobs},
+    )
     names = matrix.policies
     for name in names:
         assert matrix.value(name, name) == 1.0
@@ -73,7 +81,15 @@ def test_e8_shortest_distinguishing_probes(benchmark, save_result, jobs):
         rows,
         title="E8b: shortest distinguishing probe per policy pair (4-way)",
     )
-    save_result("e8_distinguishers", table)
+    save_result(
+        "e8_distinguishers",
+        table,
+        data={
+            "columns": ["policy A", "policy B", "probe length", "probe"],
+            "rows": rows,
+        },
+        params={"policies": POLICIES, "ways": 4, "max_depth": 10, "jobs": jobs},
+    )
     lengths = {
         (row[0], row[1]): row[2] for row in rows if isinstance(row[2], int)
     }

@@ -77,7 +77,19 @@ def test_e9_adaptivity_survey(benchmark, save_result, jobs):
         rows,
         title="E9: per-set classification and adaptivity verdicts",
     )
-    save_result("e9_adaptive", table)
+    save_result(
+        "e9_adaptive",
+        table,
+        data={
+            "columns": ["processor", "level", "set", "kind", "policy"],
+            "rows": rows,
+            "verdicts": {
+                processor: report.summary()
+                for processor, report in verdicts.items()
+            },
+        },
+        params={"targets": TARGETS, "jobs": jobs},
+    )
     # The fixed bit-PLRU L3 must classify uniformly ...
     assert not verdicts["sandybridge-like"].adaptive
     assert verdicts["sandybridge-like"].fixed_policy == "bitplru"

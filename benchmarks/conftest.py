@@ -4,16 +4,33 @@ Every benchmark regenerates one of the paper's tables or figures
 (reconstructed as experiments E1-E8; see DESIGN.md).  Besides the
 pytest-benchmark timing, each writes its rows to
 ``benchmarks/results/<experiment>.txt`` so the numbers survive the run
-and can be pasted into EXPERIMENTS.md.
+and can be pasted into EXPERIMENTS.md, plus a
+``<experiment>.metrics.json`` sidecar: an ExperimentResult envelope
+(see OBSERVABILITY.md) carrying the experiment's structured data and a
+snapshot of the run's metrics.
+
+Pass ``--obs-trace`` to additionally record structured events
+(``runner.*``, ``oracle.*``, ``infer.*``, ``identify.*`` — the cold-path
+kinds; per-access ``cache.*`` events are excluded so tracing does not
+distort the timed sections) and write them to
+``<experiment>.trace.jsonl`` next to the other artifacts.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.result import ExperimentResult
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Event-kind prefixes recorded under --obs-trace.
+TRACE_INCLUDE = ("runner.", "oracle.", "infer.", "identify.")
 
 
 def pytest_addoption(parser):
@@ -25,6 +42,13 @@ def pytest_addoption(parser):
         help="worker processes for experiment grids (0 = serial); results "
         "are bit-identical in both modes (see repro.runner)",
     )
+    parser.addoption(
+        "--obs-trace",
+        action="store_true",
+        default=False,
+        help="record structured events per experiment and write them to "
+        "benchmarks/results/<experiment>.trace.jsonl",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -33,14 +57,50 @@ def jobs(request) -> int:
     return request.config.getoption("--jobs")
 
 
+@pytest.fixture(autouse=True)
+def _observe(request):
+    """Reset metrics per test; install a tracer when --obs-trace is set.
+
+    Each benchmark therefore sees only its own counters in the metrics
+    sidecar, and the tracer's events are available to ``save_result``
+    through :data:`repro.obs.trace.ACTIVE`.
+    """
+    obs_metrics.DEFAULT.reset()
+    if request.config.getoption("--obs-trace"):
+        with obs_trace.tracing(include=TRACE_INCLUDE):
+            yield
+    else:
+        yield
+
+
 @pytest.fixture(scope="session")
 def save_result():
-    """Persist an experiment table and echo it to stdout."""
+    """Persist an experiment table plus its ExperimentResult sidecar.
+
+    ``data`` and ``params`` feed the ``<name>.metrics.json`` envelope;
+    anything JSON-unfriendly inside them is stringified.  When a tracer
+    is active its events are drained to ``<name>.trace.jsonl``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, text: str, data=None, params=None) -> None:
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
+        result = ExperimentResult(
+            name=name,
+            params=json.loads(json.dumps(params or {}, default=str)),
+            data=json.loads(json.dumps(data if data is not None else {}, default=str)),
+            metrics=obs_metrics.DEFAULT.snapshot(),
+        )
+        sidecar = RESULTS_DIR / f"{name}.metrics.json"
+        sidecar.write_text(result.to_json(indent=2) + "\n")
+        tracer = obs_trace.ACTIVE
+        if tracer is not None and tracer.events:
+            trace_path = obs_trace.write_jsonl(
+                tracer.events, RESULTS_DIR / f"{name}.trace.jsonl"
+            )
+            tracer.events.clear()
+            print(f"[trace saved to {trace_path}]")
+        print(f"\n{text}\n[saved to {path}; metrics sidecar {sidecar}]")
 
     return _save

@@ -22,7 +22,8 @@ Package map:
 * :mod:`repro.core` — the inference algorithms (the paper's contribution);
 * :mod:`repro.workloads` — trace generators and app models;
 * :mod:`repro.eval` — performance and predictability evaluation;
-* :mod:`repro.runner` — deterministic parallel experiment runner.
+* :mod:`repro.runner` — deterministic parallel experiment runner;
+* :mod:`repro.obs` — tracing, metrics and the ExperimentResult protocol.
 """
 
 from repro.cache import Cache, CacheConfig, CacheHierarchy
@@ -53,12 +54,18 @@ from repro.hardware import (
     NoiseModel,
     get_processor,
 )
+from repro.errors import ResultSchemaError
+from repro.obs import ExperimentResult, Metrics, Tracer, tracing, validate_result
 from repro.policies import (
     PermutationPolicy,
     PermutationSpec,
     PolicyFactory,
+    available,
     available_policies,
+    default_policies,
+    get,
     make_policy,
+    register,
 )
 from repro.runner import ExperimentRunner, SimCell, run_sim_cells
 from repro.workloads import APP_MODELS, Trace, workload_suite
@@ -86,8 +93,17 @@ __all__ = [
     "PermutationPolicy",
     "PermutationSpec",
     "PolicyFactory",
+    "available",
     "available_policies",
+    "default_policies",
+    "get",
     "make_policy",
+    "register",
+    "ExperimentResult",
+    "Metrics",
+    "Tracer",
+    "tracing",
+    "validate_result",
     "Trace",
     "APP_MODELS",
     "workload_suite",
@@ -101,5 +117,6 @@ __all__ = [
     "InferenceError",
     "UnknownPolicyError",
     "TraceFormatError",
+    "ResultSchemaError",
     "__version__",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.obs import trace as obs_trace
 from repro.policies.base import ReplacementPolicy
 
 
@@ -64,11 +65,16 @@ class CacheSet:
         path, not implicitly by the lookup.
         """
         way = self.lookup(tag)
+        tracer = obs_trace.ACTIVE
         if way is None:
+            if tracer is not None and tracer.wants_cache:
+                tracer.emit("cache.miss", tag=tag, filled=False)
             return None
         self.policy.touch(way)
         if write:
             self._dirty[way] = True
+        if tracer is not None and tracer.wants_cache:
+            tracer.emit("cache.hit", tag=tag, way=way)
         return way
 
     def mark_dirty(self, tag: int) -> bool:
@@ -86,7 +92,13 @@ class CacheSet:
             self.policy.touch(way)
             if write:
                 self._dirty[way] = True
+            tracer = obs_trace.ACTIVE
+            if tracer is not None and tracer.wants_cache:
+                tracer.emit("cache.hit", tag=tag, way=way)
             return SetAccessResult(hit=True, way=way, evicted_tag=None)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None and tracer.wants_cache:
+            tracer.emit("cache.miss", tag=tag, filled=True)
         return self.fill(tag, write=write)
 
     def fill(self, tag: int, write: bool = False) -> SetAccessResult:
@@ -106,6 +118,13 @@ class CacheSet:
         self._dirty[way] = write
         self._way_of[tag] = way
         self.policy.fill(way)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None and tracer.wants_cache:
+            if evicted_tag is not None:
+                tracer.emit(
+                    "cache.evict", tag=evicted_tag, way=way, dirty=evicted_dirty
+                )
+            tracer.emit("cache.fill", tag=tag, way=way)
         return SetAccessResult(
             hit=False, way=way, evicted_tag=evicted_tag, evicted_dirty=evicted_dirty
         )

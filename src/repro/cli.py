@@ -6,7 +6,13 @@ Subcommands mirror the library's two halves:
 * ``infer`` — reverse engineer one cache of a simulated processor;
 * ``evaluate`` — miss-ratio table of policies over the workload suite;
 * ``bench`` — the same grid as a timed throughput benchmark (``--jobs``);
-* ``predictability`` — evict/fill metrics table.
+* ``predictability`` — evict/fill metrics table;
+* ``query`` — run one CacheQuery-notation access sequence;
+* ``trace`` — replay/filter a JSONL trace file written by ``--trace``.
+
+The measurement-driving subcommands accept ``--trace FILE`` (stream
+structured events to a JSONL file) and ``--metrics FILE`` (write an
+ExperimentResult metrics sidecar); see OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -15,10 +21,12 @@ import argparse
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.cache import CacheConfig
 from repro.core import SimulatedSetOracle, VotingOracle, reverse_engineer, run_query
-from repro.errors import ReproError
+from repro.core.query import QueryResult
+from repro.errors import ReproError, TraceFormatError
 from repro.eval.missratio import miss_ratio_matrix
 from repro.eval.predictability import predictability_of_policy
 from repro.hardware import (
@@ -28,7 +36,18 @@ from repro.hardware import (
     NoiseModel,
     get_processor,
 )
-from repro.policies import available_policies, make_policy
+from repro.obs import (
+    DEFAULT,
+    ExperimentResult,
+    JsonlWriter,
+    Tracer,
+    filter_events,
+    format_event,
+    install,
+    read_jsonl,
+    uninstall,
+)
+from repro.policies import available, default_policies, get
 from repro.runner import ExperimentRunner, clear_memo
 from repro.util.tables import format_table
 from repro.workloads import workload_suite
@@ -45,7 +64,7 @@ def _cmd_list_processors(args: argparse.Namespace) -> int:
 
 
 def _cmd_list_policies(args: argparse.Namespace) -> int:
-    for name in available_policies():
+    for name in available():
         print(name)
     return 0
 
@@ -132,7 +151,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_predictability(args: argparse.Namespace) -> int:
     rows = []
     for name in args.policies.split(","):
-        policy = make_policy(name, args.ways)
+        policy = get(name, args.ways)
         try:
             result = predictability_of_policy(name, policy)
         except ReproError as error:
@@ -151,14 +170,65 @@ def _cmd_predictability(args: argparse.Namespace) -> int:
     return 0
 
 
+def format_query_result(result: QueryResult) -> str:
+    """Render a structured query result as the classic one-line report."""
+    return " ".join(
+        f"{outcome.name}={'hit' if outcome.hit else 'miss'}"
+        for outcome in result.outcomes
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.processor:
         platform = HardwarePlatform(get_processor(args.processor), seed=args.seed)
         oracle = HardwareSetOracle(platform, args.level)
     else:
-        oracle = SimulatedSetOracle(make_policy(args.policy, args.ways))
-    print(run_query(oracle, args.sequence))
+        oracle = SimulatedSetOracle(get(args.policy, args.ways))
+    print(format_query_result(run_query(oracle, args.sequence)))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Replay a JSONL trace file: filter, print, summarise."""
+    try:
+        events = read_jsonl(args.file)
+    except OSError as error:
+        raise TraceFormatError(f"cannot read trace file: {error}") from error
+    where = {}
+    for clause in args.where:
+        if "=" not in clause:
+            raise TraceFormatError(
+                f"bad --where clause {clause!r}; expected field=value"
+            )
+        key, value = clause.split("=", 1)
+        where[key] = value
+    selected = filter_events(
+        events, kinds=args.kind or None, where=where or None, limit=args.limit
+    )
+    if args.summary:
+        counts: dict[str, int] = {}
+        for event in selected:
+            kind = str(event.get("kind", "?"))
+            counts[kind] = counts.get(kind, 0) + 1
+        rows = [[kind, counts[kind]] for kind in sorted(counts)]
+        rows.append(["total", len(selected)])
+        print(format_table(["kind", "events"], rows, title=f"trace {args.file}"))
+    else:
+        for event in selected:
+            print(format_event(event))
+    return 0
+
+
+def _add_obs_options(command: argparse.ArgumentParser) -> None:
+    """Attach the shared observability options to one subcommand."""
+    command.add_argument(
+        "--trace", metavar="FILE", default=None, dest="trace_file",
+        help="stream structured events to a JSONL trace file",
+    )
+    command.add_argument(
+        "--metrics", metavar="FILE", default=None, dest="metrics_file",
+        help="write an ExperimentResult metrics sidecar (JSON)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,15 +252,17 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--seed", type=int, default=0)
     infer.add_argument("--check", action="store_true",
                        help="compare against the catalog ground truth")
+    _add_obs_options(infer)
 
     evaluate = sub.add_parser("evaluate", help="miss-ratio table over the workload suite")
-    evaluate.add_argument("--policies", default="lru,fifo,plru,bitplru,srrip,random")
+    evaluate.add_argument("--policies", default=",".join(default_policies("eval")))
     evaluate.add_argument("--size", type=int, default=32 * 1024)
     evaluate.add_argument("--ways", type=int, default=8)
     evaluate.add_argument("--line-size", type=int, default=64)
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("--jobs", type=int, default=0,
                           help="worker processes for the grid (0 = serial)")
+    _add_obs_options(evaluate)
 
     bench = sub.add_parser(
         "bench",
@@ -198,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run the evaluate grid as a benchmark and report "
         "wall-clock throughput; compare --jobs N against the serial default.",
     )
-    bench.add_argument("--policies", default="lru,fifo,plru,bitplru,srrip,random")
+    bench.add_argument("--policies", default=",".join(default_policies("eval")))
     bench.add_argument("--size", type=int, default=64 * 1024)
     bench.add_argument("--ways", type=int, default=8)
     bench.add_argument("--line-size", type=int, default=64)
@@ -209,9 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repeat the timed grid this many times")
     bench.add_argument("--show-matrix", action="store_true",
                        help="also print the resulting miss-ratio table")
+    _add_obs_options(bench)
 
     predict = sub.add_parser("predictability", help="evict/fill metrics table")
-    predict.add_argument("--policies", default="lru,fifo,plru,bitplru,nru")
+    predict.add_argument(
+        "--policies", default=",".join(default_policies("predictability"))
+    )
     predict.add_argument("--ways", type=int, default=4)
 
     query = sub.add_parser(
@@ -227,6 +302,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query a catalog processor instead of a bare policy")
     query.add_argument("--level", default="L1")
     query.add_argument("--seed", type=int, default=0)
+    _add_obs_options(query)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay/filter a JSONL trace written by --trace",
+        description="Example: repro-cache trace run.jsonl --kind oracle. --limit 20",
+    )
+    trace.add_argument("file", help="JSONL trace file")
+    trace.add_argument("--kind", action="append", default=[],
+                       help="kind prefix filter (repeatable), e.g. 'oracle.'")
+    trace.add_argument("--where", action="append", default=[], metavar="FIELD=VALUE",
+                       help="field equality filter (repeatable)")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="print at most this many events")
+    trace.add_argument("--summary", action="store_true",
+                       help="print per-kind event counts instead of events")
 
     return parser
 
@@ -239,7 +330,43 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "predictability": _cmd_predictability,
     "query": _cmd_query,
+    "trace": _cmd_trace,
 }
+
+#: Namespace attributes that belong in a metrics sidecar's params block.
+_SIDECAR_PARAM_TYPES = (str, int, float, bool, type(None))
+
+
+def _run_with_observability(args: argparse.Namespace) -> int:
+    """Dispatch one subcommand under the requested tracing/metrics setup."""
+    trace_file = getattr(args, "trace_file", None)
+    metrics_file = getattr(args, "metrics_file", None)
+    command = _COMMANDS[args.command]
+    if trace_file is None and metrics_file is None:
+        return command(args)
+    DEFAULT.reset()
+    sink = JsonlWriter(trace_file) if trace_file is not None else None
+    install(Tracer(keep_events=False, sink=sink))
+    try:
+        status = command(args)
+    finally:
+        uninstall()
+        if sink is not None:
+            sink.close()
+    if metrics_file is not None:
+        result = ExperimentResult(
+            name=f"cli-{args.command}",
+            params={
+                key: value
+                for key, value in sorted(vars(args).items())
+                if key not in ("command", "trace_file", "metrics_file")
+                and isinstance(value, _SIDECAR_PARAM_TYPES)
+            },
+            data={"exit_status": status},
+            metrics=DEFAULT.snapshot(),
+        )
+        Path(metrics_file).write_text(result.to_json(indent=2) + "\n")
+    return status
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -247,7 +374,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        return _run_with_observability(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

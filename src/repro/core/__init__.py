@@ -55,7 +55,14 @@ from repro.core.permutation import (
     specs_equivalent,
     standard_miss_perm,
 )
-from repro.core.query import ParsedQuery, QueryParseError, parse_query, run_query
+from repro.core.query import (
+    AccessOutcome,
+    ParsedQuery,
+    QueryParseError,
+    QueryResult,
+    parse_query,
+    run_query,
+)
 from repro.core.report import PolicyFinding, reverse_engineer
 
 __all__ = [
@@ -96,8 +103,10 @@ __all__ = [
     "miss_count",
     "PolicyFinding",
     "reverse_engineer",
+    "AccessOutcome",
     "ParsedQuery",
     "QueryParseError",
+    "QueryResult",
     "parse_query",
     "run_query",
 ]

@@ -29,13 +29,37 @@ candidate-set identification (:mod:`repro.core.identify`).
 from __future__ import annotations
 
 import random
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.oracle import MissCountOracle
 from repro.core.permutation import standard_miss_perm
 from repro.errors import InferenceError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.result import ExperimentResult
 from repro.policies import PermutationPolicy, PermutationSpec
 from repro.cache.set import CacheSet
+
+
+@contextmanager
+def _phase(name: str):
+    """Bracket one inference stage with trace events and a phase timer."""
+    tracer = obs_trace.ACTIVE
+    if tracer is not None:
+        tracer.emit("infer.phase", phase=name, status="start")
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        seconds = time.perf_counter() - start
+        obs_metrics.DEFAULT.observe(f"infer.phase_seconds.{name}", seconds)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                "infer.phase", phase=name, status="end", seconds=round(seconds, 6)
+            )
 
 
 @dataclass
@@ -84,6 +108,57 @@ class InferenceResult:
     def succeeded(self) -> bool:
         """True when a verified spec was produced."""
         return self.spec is not None and self.verified
+
+    # -- unified result protocol ------------------------------------------
+    def to_experiment_result(
+        self,
+        name: str = "permutation-inference",
+        params: dict | None = None,
+        metrics: dict | None = None,
+    ) -> ExperimentResult:
+        """Package this outcome as a schema-versioned ExperimentResult."""
+        spec_data = None
+        if self.spec is not None:
+            spec_data = {
+                "hit_perms": [list(perm) for perm in self.spec.hit_perms],
+                "miss_perm": list(self.spec.miss_perm),
+            }
+        return ExperimentResult(
+            name=name,
+            params=dict(params or {}),
+            data={
+                "ways": self.ways,
+                "spec": spec_data,
+                "verified": self.verified,
+                "succeeded": self.succeeded,
+                "measurements": self.measurements,
+                "accesses": self.accesses,
+                "failure_reason": self.failure_reason,
+                "position_tables": [list(table) for table in self.position_tables],
+            },
+            metrics=dict(metrics or {}),
+        )
+
+    @classmethod
+    def from_experiment_result(cls, result: ExperimentResult) -> "InferenceResult":
+        """Rebuild an InferenceResult from its ExperimentResult form."""
+        data = result.data
+        spec = None
+        if data.get("spec") is not None:
+            spec = PermutationSpec(
+                data["ways"],
+                tuple(tuple(perm) for perm in data["spec"]["hit_perms"]),
+                tuple(data["spec"]["miss_perm"]),
+            )
+        return cls(
+            ways=data["ways"],
+            spec=spec,
+            verified=data["verified"],
+            measurements=data["measurements"],
+            accesses=data["accesses"],
+            failure_reason=data.get("failure_reason"),
+            position_tables=[list(table) for table in data.get("position_tables", [])],
+        )
 
 
 class PermutationInference:
@@ -172,9 +247,36 @@ class PermutationInference:
     def infer(self) -> InferenceResult:
         """Run all stages and return the (possibly failed) result."""
         self.oracle.reset_cost()
-        ways = self._ways if self._ways is not None else self.infer_associativity()
+        obs_metrics.DEFAULT.incr("inference.runs")
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                "infer.start",
+                oracle=type(self.oracle).__name__,
+                ways=self._ways,
+                strategy=self.config.strategy,
+            )
+        if self._ways is not None:
+            ways = self._ways
+        else:
+            with _phase("associativity"):
+                ways = self.infer_associativity()
 
         def result(spec, verified, reason=None, tables=()):
+            succeeded = spec is not None and verified
+            obs_metrics.DEFAULT.incr(
+                "inference.succeeded" if succeeded else "inference.failed"
+            )
+            tracer = obs_trace.ACTIVE
+            if tracer is not None:
+                tracer.emit(
+                    "infer.end",
+                    ways=ways,
+                    succeeded=succeeded,
+                    reason=reason,
+                    measurements=self.oracle.measurements,
+                    accesses=self.oracle.accesses,
+                )
             return InferenceResult(
                 ways=ways,
                 spec=spec,
@@ -187,7 +289,8 @@ class PermutationInference:
 
         # Sanity-check the establishment arrangement: e_j must sit at
         # position A-1-j.  A mismatch means non-standard miss behaviour.
-        baseline = self._position_table(ways, [])
+        with _phase("baseline"):
+            baseline = self._position_table(ways, [])
         if baseline is None:
             return result(None, False, "baseline positions not a permutation")
         if baseline != [ways - 1 - j for j in range(ways)]:
@@ -196,21 +299,30 @@ class PermutationInference:
         # Measure each hit permutation.
         hit_perms: list[tuple[int, ...]] = []
         tables = []
-        for position in range(ways):
-            block_at_position = ways - 1 - position
-            table = self._position_table(ways, [block_at_position])
-            if table is None:
-                return result(
-                    None, False, f"positions after hit at {position} not a permutation", tables
-                )
-            tables.append(table)
-            perm = [0] * ways
-            for block, new_position in enumerate(table):
-                perm[ways - 1 - block] = new_position
-            hit_perms.append(tuple(perm))
+        with _phase("hit-perms"):
+            for position in range(ways):
+                block_at_position = ways - 1 - position
+                table = self._position_table(ways, [block_at_position])
+                if table is None:
+                    return result(
+                        None,
+                        False,
+                        f"positions after hit at {position} not a permutation",
+                        tables,
+                    )
+                tables.append(table)
+                perm = [0] * ways
+                for block, new_position in enumerate(table):
+                    perm[ways - 1 - block] = new_position
+                hit_perms.append(tuple(perm))
 
         spec = PermutationSpec(ways, tuple(hit_perms), standard_miss_perm(ways))
-        if not self._verify(ways, spec):
+        with _phase("verify"):
+            verified = self._verify(ways, spec)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit("infer.verify", passed=verified)
+        if not verified:
             return result(spec, False, "random-sequence verification failed", tables)
         return result(spec, True, None, tables)
 

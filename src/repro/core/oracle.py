@@ -32,6 +32,8 @@ from collections import Counter
 from collections.abc import Sequence
 
 from repro.errors import MeasurementError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.policies import ReplacementPolicy
 from repro.cache.set import CacheSet
 
@@ -55,6 +57,29 @@ class MissCountOracle(ABC):
         """Zero the measurement cost counters."""
         self.measurements = 0
         self.accesses = 0
+
+    def _note_measurement(self, setup_len: int, probe_len: int, misses: int) -> None:
+        """Account one measurement: cost counters, metrics, trace event.
+
+        Implementations call this once per :meth:`count_misses`; the
+        rate is per measurement (not per simulated access), so the
+        metrics bookkeeping stays off the simulation hot path.
+        """
+        self.measurements += 1
+        self.accesses += setup_len + probe_len
+        metrics = obs_metrics.DEFAULT
+        metrics.incr("oracle.measurements")
+        metrics.incr("oracle.accesses", setup_len + probe_len)
+        metrics.observe("oracle.probe_misses", misses)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                "oracle.query",
+                oracle=type(self).__name__,
+                setup=setup_len,
+                probe=probe_len,
+                misses=misses,
+            )
 
 
 class SimulatedSetOracle(MissCountOracle):
@@ -80,8 +105,7 @@ class SimulatedSetOracle(MissCountOracle):
         for block in probe:
             if not cache_set.access(block).hit:
                 misses += 1
-        self.measurements += 1
-        self.accesses += len(setup) + len(probe)
+        self._note_measurement(len(setup), len(probe), misses)
         return misses
 
 
@@ -122,10 +146,24 @@ class VotingOracle(MissCountOracle):
             self._inner.count_misses(setup, probe) for _ in range(self.repetitions)
         ]
         if self.aggregate == "min":
-            return min(counts)
-        if self.aggregate == "median":
-            return sorted(counts)[len(counts) // 2]
-        return Counter(counts).most_common(1)[0][0]
+            result = min(counts)
+        elif self.aggregate == "median":
+            result = sorted(counts)[len(counts) // 2]
+        else:
+            result = Counter(counts).most_common(1)[0][0]
+        disagreements = sum(1 for count in counts if count != result)
+        if disagreements:
+            obs_metrics.DEFAULT.incr("oracle.vote_disagreements", disagreements)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                "oracle.vote",
+                aggregate=self.aggregate,
+                repetitions=self.repetitions,
+                counts=counts,
+                result=result,
+            )
+        return result
 
     @property
     def measurements(self) -> int:  # type: ignore[override]

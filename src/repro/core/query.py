@@ -7,8 +7,11 @@ should be reported.
 
     >>> from repro.core import SimulatedSetOracle
     >>> from repro.policies import LruPolicy
-    >>> run_query(SimulatedSetOracle(LruPolicy(2)), "a b a? c b?")
-    'a=hit b=miss'
+    >>> result = run_query(SimulatedSetOracle(LruPolicy(2)), "a b a? c b?")
+    >>> [(o.name, o.hit) for o in result.outcomes]
+    [('a', True), ('b', False)]
+    >>> result.miss_count
+    1
 
 Semantics:
 
@@ -125,8 +128,39 @@ def _expand(tokens: list[str]) -> list[str]:
     return result
 
 
-def run_query(oracle: MissCountOracle, text: str) -> str:
-    """Execute a query and report each probed access as hit or miss.
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Measured outcome of one probed access."""
+
+    name: str
+    position: int  # index of the access within the query
+    hit: bool
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Structured outcome of :func:`run_query`.
+
+    Presentation (the classic ``a=hit b=miss`` line) lives with the
+    callers; this object carries the data.
+    """
+
+    query: str
+    outcomes: tuple[AccessOutcome, ...]
+
+    @property
+    def miss_count(self) -> int:
+        """Number of probed accesses that missed."""
+        return sum(1 for outcome in self.outcomes if not outcome.hit)
+
+    @property
+    def hit_count(self) -> int:
+        """Number of probed accesses that hit."""
+        return sum(1 for outcome in self.outcomes if outcome.hit)
+
+
+def run_query(oracle: MissCountOracle, text: str) -> QueryResult:
+    """Execute a query; report each probed access's hit/miss outcome.
 
     Every probed access is measured in its own run (replay the prefix,
     count the single probe access), which is exactly how the inference
@@ -137,6 +171,9 @@ def run_query(oracle: MissCountOracle, text: str) -> str:
     for position in query.probed:
         prefix = list(query.blocks[:position])
         misses = oracle.count_misses(prefix, [query.blocks[position]])
-        outcome = "miss" if misses > 0 else "hit"
-        outcomes.append(f"{query.names[position]}={outcome}")
-    return " ".join(outcomes)
+        outcomes.append(
+            AccessOutcome(
+                name=query.names[position], position=position, hit=misses == 0
+            )
+        )
+    return QueryResult(query=text, outcomes=tuple(outcomes))

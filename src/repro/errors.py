@@ -53,3 +53,11 @@ class UnknownPolicyError(ReproError):
 
 class TraceFormatError(ReproError):
     """A trace file is malformed and cannot be parsed."""
+
+
+class ResultSchemaError(ReproError):
+    """An experiment result payload violates the documented schema.
+
+    Raised by :func:`repro.obs.result.validate_result` with a
+    field-level message; see OBSERVABILITY.md for the schema.
+    """

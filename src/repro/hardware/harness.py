@@ -199,6 +199,5 @@ class HardwareSetOracle(MissCountOracle):
         for block in probe:
             self._wrapped_load(block)
         misses = self.platform.counters.delta(self.level, "miss", before)
-        self.measurements += 1
-        self.accesses += len(setup) + len(probe)
+        self._note_measurement(len(setup), len(probe), misses)
         return misses

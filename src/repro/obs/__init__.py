@@ -1,0 +1,68 @@
+"""Observability: structured events, metrics and the result protocol.
+
+The paper's method is measurement, and ``repro.obs`` makes the
+reproduction's own measurement loops observable the same way nanoBench
+and CacheQuery are: every hot layer emits structured events through a
+zero-cost-when-disabled :class:`~repro.obs.trace.Tracer`, cheap counters
+and timers aggregate into the module-wide :data:`~repro.obs.metrics.DEFAULT`
+:class:`~repro.obs.metrics.Metrics` store, and every experiment surfaces
+its outcome as a schema-versioned
+:class:`~repro.obs.result.ExperimentResult`.
+
+Three layers:
+
+* :mod:`repro.obs.trace` — the event bus.  ``install(Tracer(...))`` (or
+  the ``tracing(...)`` context manager) turns on event emission from
+  :class:`~repro.cache.set.CacheSet` (hit/miss/evict/fill),
+  :class:`~repro.core.oracle.MissCountOracle` (queries),
+  :class:`~repro.core.inference.PermutationInference` (phases, verify),
+  :class:`~repro.core.identify.CandidateIdentification` (candidates
+  accepted/rejected) and :class:`~repro.runner.core.ExperimentRunner`
+  (cells scheduled/retried/completed).  With no tracer installed the
+  instrumentation is a single global ``is None`` check.
+* :mod:`repro.obs.metrics` — counters, timers and histograms,
+  snapshot-able to JSON and printable as a summary table.
+* :mod:`repro.obs.result` — the unified experiment result protocol
+  (:class:`~repro.obs.result.ExperimentResult`) shared by inference
+  results, miss-ratio matrices, the CLI and the E1-E12 benchmarks.
+
+The event schema and result protocol are documented in OBSERVABILITY.md.
+"""
+
+from repro.obs.metrics import DEFAULT, Metrics, MetricSummary
+from repro.obs.result import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    validate_result,
+    validate_result_file,
+)
+from repro.obs.trace import (
+    JsonlWriter,
+    Tracer,
+    filter_events,
+    format_event,
+    install,
+    read_jsonl,
+    tracing,
+    uninstall,
+    write_jsonl,
+)
+
+__all__ = [
+    "DEFAULT",
+    "Metrics",
+    "MetricSummary",
+    "SCHEMA_VERSION",
+    "ExperimentResult",
+    "validate_result",
+    "validate_result_file",
+    "JsonlWriter",
+    "Tracer",
+    "filter_events",
+    "format_event",
+    "install",
+    "read_jsonl",
+    "tracing",
+    "uninstall",
+    "write_jsonl",
+]

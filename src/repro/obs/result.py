@@ -1,0 +1,163 @@
+"""The unified experiment result protocol.
+
+Every experiment in the reproduction — an inference run, a miss-ratio
+grid, a benchmark table, a CLI invocation — reports through the same
+envelope so downstream tooling (sidecar files, CI validation, plotting)
+never needs to know which experiment produced a file:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "name": "e3_missratio",
+      "params": {"policies": ["lru", "fifo"], "seed": 0},
+      "data": {...},
+      "metrics": {"counters": {...}, "observations": {...}}
+    }
+
+Field contract (validated by :func:`validate_result`):
+
+* ``schema_version`` — integer, currently :data:`SCHEMA_VERSION`;
+* ``name`` — non-empty string identifying the experiment;
+* ``params`` — JSON object of the experiment's inputs;
+* ``data`` — the payload; any JSON value, including null;
+* ``metrics`` — JSON object, normally a
+  :meth:`repro.obs.metrics.Metrics.snapshot`.
+
+Producers: :meth:`repro.core.inference.InferenceResult.to_experiment_result`,
+:meth:`repro.eval.missratio.MissRatioMatrix.to_experiment_result`, the
+benchmark ``save_result`` fixture, and the CLI ``--metrics`` option.
+
+``python -m repro.obs.result FILE...`` validates sidecar files against
+the schema (used by CI).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ResultSchemaError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExperimentResult",
+    "validate_result",
+    "validate_result_file",
+    "main",
+]
+
+#: Current version of the result envelope.
+SCHEMA_VERSION = 1
+
+
+def validate_result(payload: object) -> dict:
+    """Check ``payload`` against the result schema; return it on success.
+
+    Raises :class:`~repro.errors.ResultSchemaError` with a field-level
+    message on any violation.
+    """
+    if not isinstance(payload, dict):
+        raise ResultSchemaError(
+            f"result must be a JSON object, got {type(payload).__name__}"
+        )
+    missing = [
+        key
+        for key in ("schema_version", "name", "params", "data", "metrics")
+        if key not in payload
+    ]
+    if missing:
+        raise ResultSchemaError(f"result is missing fields: {', '.join(missing)}")
+    version = payload["schema_version"]
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ResultSchemaError(f"schema_version must be an integer, got {version!r}")
+    if version != SCHEMA_VERSION:
+        raise ResultSchemaError(
+            f"unsupported schema_version {version} (supported: {SCHEMA_VERSION})"
+        )
+    if not isinstance(payload["name"], str) or not payload["name"]:
+        raise ResultSchemaError(f"name must be a non-empty string, got {payload['name']!r}")
+    if not isinstance(payload["params"], dict):
+        raise ResultSchemaError(
+            f"params must be an object, got {type(payload['params']).__name__}"
+        )
+    if not isinstance(payload["metrics"], dict):
+        raise ResultSchemaError(
+            f"metrics must be an object, got {type(payload['metrics']).__name__}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Schema-versioned envelope around one experiment's outcome."""
+
+    name: str
+    params: dict
+    data: object
+    metrics: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        """Plain-dict rendering following the documented schema."""
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "params": self.params,
+            "data": self.data,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise to a JSON string (validates implicitly on re-parse)."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Build from a dict, validating against the schema first."""
+        validate_result(payload)
+        return cls(
+            name=payload["name"],
+            params=payload["params"],
+            data=payload["data"],
+            metrics=payload["metrics"],
+            schema_version=payload["schema_version"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Parse and validate a JSON string."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ResultSchemaError(f"not valid JSON: {error}") from None
+        return cls.from_dict(payload)
+
+
+def validate_result_file(path: str | Path) -> ExperimentResult:
+    """Load and validate one result file; return the parsed result."""
+    return ExperimentResult.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate result files given on the command line (CI entry point)."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.result FILE [FILE ...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            result = validate_result_file(path)
+        except (OSError, ResultSchemaError) as error:
+            print(f"{path}: INVALID: {error}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"{path}: ok (name={result.name}, schema_version={result.schema_version})")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

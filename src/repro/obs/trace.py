@@ -1,0 +1,230 @@
+"""Zero-cost-when-disabled structured event bus and JSONL trace files.
+
+Instrumented code emits events through the module-global :data:`ACTIVE`
+tracer::
+
+    from repro.obs import trace as obs_trace
+    ...
+    tracer = obs_trace.ACTIVE
+    if tracer is not None:
+        tracer.emit("oracle.query", setup=len(setup), probe=len(probe),
+                    misses=misses)
+
+With no tracer installed the cost is one global load and an ``is None``
+check; the keyword arguments are never even built.  The per-access cache
+events additionally gate on :attr:`Tracer.wants_cache`, a precomputed
+flag, so a tracer configured without ``cache.*`` events adds no work to
+the simulation hot path beyond that flag test.
+
+An event is a plain dict: ``{"seq": int, "kind": str, **fields}``.
+``seq`` is a per-tracer monotonic sequence number (timestamps are
+deliberately omitted from hot events; the runner and inference layers
+carry explicit wall-time fields where timing is meaningful).  Every emit
+also bumps the ``events.<kind>`` counter in
+:data:`repro.obs.metrics.DEFAULT`, so a metrics snapshot summarises the
+event mix even when events themselves are not kept.
+
+The kind namespace is documented in OBSERVABILITY.md:
+``cache.*`` (hit/miss/evict/fill), ``oracle.*`` (query/vote),
+``infer.*`` (phase/verify), ``identify.*`` (candidate), ``runner.*``
+(scheduled/chunk/cell/retry).
+
+Events are process-local: grid cells dispatched to worker processes by
+the experiment runner do not stream their cache/oracle events back to
+the parent (the parent still records the ``runner.cell`` events).  Run
+with ``jobs=0`` to trace inside the cells.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "ACTIVE",
+    "Tracer",
+    "JsonlWriter",
+    "install",
+    "uninstall",
+    "tracing",
+    "write_jsonl",
+    "read_jsonl",
+    "filter_events",
+    "format_event",
+]
+
+#: The installed tracer, or None.  Instrumentation reads this directly.
+ACTIVE: "Tracer | None" = None
+
+
+class Tracer:
+    """Structured event collector.
+
+    Args:
+        keep_events: accumulate events on :attr:`events` (the default).
+            Disable for long runs that only stream to a sink.
+        sink: optional callable invoked with every event dict as it is
+            emitted (e.g. a :class:`JsonlWriter`).
+        include: optional tuple of kind prefixes; events whose kind does
+            not start with any prefix are dropped at the emit site.
+            ``None`` keeps everything.  Excluding ``"cache."`` (or using
+            an ``include`` list without it) turns the per-access
+            instrumentation off entirely via :attr:`wants_cache`.
+    """
+
+    __slots__ = ("events", "sink", "keep_events", "include", "wants_cache", "_seq")
+
+    def __init__(
+        self,
+        keep_events: bool = True,
+        sink: Callable[[dict], None] | None = None,
+        include: Sequence[str] | None = None,
+    ) -> None:
+        self.events: list[dict] = []
+        self.sink = sink
+        self.keep_events = keep_events
+        self.include = tuple(include) if include is not None else None
+        self.wants_cache = self.wants("cache.")
+        self._seq = 0
+
+    def wants(self, kind: str) -> bool:
+        """True when events of ``kind`` pass the include filter."""
+        if self.include is None:
+            return True
+        return kind.startswith(self.include) or any(
+            prefix.startswith(kind) for prefix in self.include
+        )
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event (dropped if the include filter rejects it)."""
+        if self.include is not None and not kind.startswith(self.include):
+            return
+        self._seq += 1
+        event = {"seq": self._seq, "kind": kind}
+        event.update(fields)
+        _metrics.DEFAULT.incr(f"events.{kind}")
+        if self.keep_events:
+            self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        filt = ",".join(self.include) if self.include is not None else "*"
+        return f"<Tracer events={len(self.events)} include={filt}>"
+
+
+class JsonlWriter:
+    """Event sink that streams one JSON object per line to a file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    def __call__(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, default=str) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the active event bus; returns it for chaining."""
+    global ACTIVE
+    ACTIVE = tracer
+    return tracer
+
+
+def uninstall() -> Tracer | None:
+    """Deactivate and return the current tracer (None if none active)."""
+    global ACTIVE
+    tracer, ACTIVE = ACTIVE, None
+    return tracer
+
+
+@contextmanager
+def tracing(
+    keep_events: bool = True,
+    sink: Callable[[dict], None] | None = None,
+    include: Sequence[str] | None = None,
+):
+    """Install a fresh tracer for the enclosed block; restore after.
+
+        with tracing(include=("oracle.",)) as tracer:
+            inference.infer()
+        queries = tracer.events
+    """
+    global ACTIVE
+    previous = ACTIVE
+    tracer = Tracer(keep_events=keep_events, sink=sink, include=include)
+    ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        ACTIVE = previous
+
+
+# -- trace files ------------------------------------------------------------
+def write_jsonl(events: Iterable[dict], path: str | Path) -> Path:
+    """Write events to ``path``, one JSON object per line."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, default=str) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def filter_events(
+    events: Iterable[dict],
+    kinds: Sequence[str] | None = None,
+    where: dict | None = None,
+    limit: int | None = None,
+) -> list[dict]:
+    """Select events by kind prefix and field equality.
+
+    ``kinds`` is a list of kind prefixes (``["oracle."]`` matches every
+    oracle event); ``where`` maps field names to required values, with
+    values compared after ``str()`` so CLI-supplied filters work against
+    numeric fields; ``limit`` truncates the result.
+    """
+    prefixes = tuple(kinds) if kinds else None
+    selected = []
+    for event in events:
+        if prefixes is not None and not str(event.get("kind", "")).startswith(prefixes):
+            continue
+        if where and any(
+            str(event.get(key)) != str(value) for key, value in where.items()
+        ):
+            continue
+        selected.append(event)
+        if limit is not None and len(selected) >= limit:
+            break
+    return selected
+
+
+def format_event(event: dict) -> str:
+    """One-line human rendering: ``seq kind field=value ...``."""
+    seq = event.get("seq", "?")
+    kind = event.get("kind", "?")
+    fields = " ".join(
+        f"{key}={value}"
+        for key, value in event.items()
+        if key not in ("seq", "kind")
+    )
+    return f"{seq:>6} {kind:<24} {fields}".rstrip()

@@ -1,34 +1,53 @@
 """Replacement policies and the policy registry.
 
-The registry maps stable string names to policy constructors so that
-caches, hardware catalogs, experiments, and the command line can all refer
-to policies by name.  Use :func:`make_policy` for a standalone per-set
-instance and :class:`PolicyFactory` when building a whole cache (it
-threads the cache-global shared context needed by set-dueling policies).
+The registry (:mod:`repro.policies.registry`) maps stable string names
+to policy constructors so that caches, hardware catalogs, experiments,
+and the command line can all refer to policies by name.  Policy classes
+register themselves with the :func:`register` decorator at import time;
+the import order below therefore fixes the registration order that
+:func:`default_policies` groups preserve.
+
+Use :func:`get` for a standalone per-set instance, :class:`PolicyFactory`
+when building a whole cache (it threads the cache-global shared context
+needed by set-dueling policies), and :func:`available` to enumerate
+names.  :func:`make_policy` and :func:`available_policies` are thin
+deprecated aliases kept for one release.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
-
-from repro.errors import UnknownPolicyError
 from repro.policies.base import ReplacementPolicy, SharedContext
-from repro.policies.clock import ClockPolicy
-from repro.policies.dueling import DuelController
-from repro.policies.fifo import FifoPolicy
+from repro.policies.registry import (
+    PolicyEntry,
+    PolicyFactory,
+    available,
+    default_policies,
+    get,
+    get_entry,
+    register,
+    register_builder,
+    unregister,
+)
+
+# Importing the implementation modules populates the registry; the order
+# here is the registration order (and thus the order of the CLI's
+# default policy groups).
 from repro.policies.lru import BipPolicy, DipPolicy, LipPolicy, LruPolicy
+from repro.policies.fifo import FifoPolicy
+from repro.policies.plru import PlruPolicy
 from repro.policies.mru import BitPlruPolicy, NruPolicy
+from repro.policies.rrip import BrripPolicy, DrripPolicy, SrripPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.clock import ClockPolicy
+from repro.policies.slru import SlruPolicy
+from repro.policies.qlru import HIT_FUNCTIONS, QlruPolicy, qlru_variants
 from repro.policies.permutation import (
     PermutationPolicy,
     PermutationSpec,
     fifo_spec,
     lru_spec,
 )
-from repro.policies.plru import PlruPolicy
-from repro.policies.qlru import HIT_FUNCTIONS, QlruPolicy, qlru_variants
-from repro.policies.random_policy import RandomPolicy
-from repro.policies.slru import SlruPolicy
-from repro.policies.rrip import BrripPolicy, DrripPolicy, SrripPolicy
+from repro.policies.dueling import DuelController
 from repro.util.rng import SeededRng
 
 __all__ = [
@@ -55,128 +74,28 @@ __all__ = [
     "lru_spec",
     "fifo_spec",
     "HIT_FUNCTIONS",
+    "qlru_variants",
+    "PolicyEntry",
     "PolicyFactory",
+    "register",
+    "register_builder",
+    "unregister",
+    "available",
+    "default_policies",
+    "get",
+    "get_entry",
     "make_policy",
     "available_policies",
 ]
-
-# Builder signature: (ways, set_index, shared, rng, params) -> policy.
-_Builder = Callable[[int, int, SharedContext | None, SeededRng | None, dict], ReplacementPolicy]
-
-
-def _simple(cls: type[ReplacementPolicy]) -> tuple[type, _Builder]:
-    def build(ways, set_index, shared, rng, params):
-        return cls(ways, **params)
-
-    return cls, build
-
-
-def _with_rng(cls: type[ReplacementPolicy]) -> tuple[type, _Builder]:
-    def build(ways, set_index, shared, rng, params):
-        set_rng = rng.fork(f"{cls.NAME}-{set_index}") if rng is not None else None
-        return cls(ways, rng=set_rng, **params)
-
-    return cls, build
-
-
-def _dueling(cls: type[ReplacementPolicy]) -> tuple[type, _Builder]:
-    def build(ways, set_index, shared, rng, params):
-        return cls(ways, shared=shared, set_index=set_index, **params)
-
-    return cls, build
-
-
-def _qlru_preset(preset: dict) -> tuple[type, _Builder]:
-    def build(ways, set_index, shared, rng, params):
-        merged = dict(preset)
-        merged.update(params)
-        return QlruPolicy(ways, **merged)
-
-    return QlruPolicy, build
-
-
-def _permutation_builder() -> tuple[type, _Builder]:
-    def build(ways, set_index, shared, rng, params):
-        spec = params.get("spec")
-        if spec is None:
-            raise UnknownPolicyError("the 'permutation' policy requires a spec= parameter")
-        return PermutationPolicy(ways, spec)
-
-    return PermutationPolicy, build
-
-
-_REGISTRY: dict[str, tuple[type, _Builder]] = {
-    "lru": _simple(LruPolicy),
-    "fifo": _simple(FifoPolicy),
-    "plru": _simple(PlruPolicy),
-    "bitplru": _simple(BitPlruPolicy),
-    "nru": _simple(NruPolicy),
-    "clock": _simple(ClockPolicy),
-    "slru": _simple(SlruPolicy),
-    "lip": _simple(LipPolicy),
-    "bip": _with_rng(BipPolicy),
-    "dip": _dueling(DipPolicy),
-    "random": _with_rng(RandomPolicy),
-    "srrip": _simple(SrripPolicy),
-    "brrip": _with_rng(BrripPolicy),
-    "drrip": _dueling(DrripPolicy),
-    "permutation": _permutation_builder(),
-}
-for _name, _preset in qlru_variants().items():
-    _REGISTRY[_name] = _qlru_preset(_preset)
-
-
-def available_policies() -> list[str]:
-    """Return the sorted list of registered policy names."""
-    return sorted(_REGISTRY)
-
-
-class PolicyFactory:
-    """Named policy constructor used to build every set of a cache.
-
-    Example::
-
-        factory = PolicyFactory("dip")
-        shared = factory.create_shared(num_sets=64, rng=SeededRng(1))
-        policies = [factory.build(8, s, shared) for s in range(64)]
-    """
-
-    def __init__(self, name: str, **params) -> None:
-        if name not in _REGISTRY:
-            raise UnknownPolicyError(
-                f"unknown policy {name!r}; known: {', '.join(available_policies())}"
-            )
-        self.name = name
-        self.params = params
-        self._cls, self._builder = _REGISTRY[name]
-
-    def create_shared(self, num_sets: int, rng: SeededRng | None = None) -> SharedContext:
-        """Create the cache-global context for this policy."""
-        return self._cls.create_shared(num_sets, rng)
-
-    def build(
-        self,
-        ways: int,
-        set_index: int = 0,
-        shared: SharedContext | None = None,
-        rng: SeededRng | None = None,
-    ) -> ReplacementPolicy:
-        """Construct the policy instance for one set."""
-        return self._builder(ways, set_index, shared, rng, self.params)
-
-    @property
-    def deterministic(self) -> bool:
-        """True if the policy draws no randomness."""
-        return self._cls.DETERMINISTIC
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"PolicyFactory({self.name!r}, {self.params!r})"
 
 
 def make_policy(
     name: str, ways: int, rng: SeededRng | None = None, **params
 ) -> ReplacementPolicy:
-    """Build a standalone single-set policy instance by name."""
-    factory = PolicyFactory(name, **params)
-    shared = factory.create_shared(num_sets=1, rng=rng)
-    return factory.build(ways, set_index=0, shared=shared, rng=rng)
+    """Deprecated alias of :func:`repro.policies.get`."""
+    return get(name, ways, rng=rng, **params)
+
+
+def available_policies() -> list[str]:
+    """Deprecated alias of :func:`repro.policies.available`."""
+    return available()

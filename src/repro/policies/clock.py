@@ -15,8 +15,10 @@ from __future__ import annotations
 from collections.abc import Hashable
 
 from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import register
 
 
+@register
 class ClockPolicy(ReplacementPolicy):
     """Second-chance replacement with a per-set hand."""
 

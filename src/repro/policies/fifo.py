@@ -11,8 +11,10 @@ from __future__ import annotations
 from collections.abc import Hashable
 
 from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import register
 
 
+@register(tags=("default-eval", "default-predictability"))
 class FifoPolicy(ReplacementPolicy):
     """Evict in insertion order; hits do not update state."""
 

@@ -20,9 +20,11 @@ from collections.abc import Hashable
 
 from repro.policies.base import ReplacementPolicy, SharedContext
 from repro.policies.dueling import DuelController
+from repro.policies.registry import register
 from repro.util.rng import SeededRng
 
 
+@register(tags=("default-eval", "default-predictability"))
 class LruPolicy(ReplacementPolicy):
     """Classic least recently used replacement."""
 
@@ -58,6 +60,7 @@ class LruPolicy(ReplacementPolicy):
         return copy
 
 
+@register
 class LipPolicy(LruPolicy):
     """LRU stack with insertion at the LRU position (LIP)."""
 
@@ -74,6 +77,7 @@ class LipPolicy(LruPolicy):
         return copy
 
 
+@register(rng=True)
 class BipPolicy(LruPolicy):
     """Bimodal insertion: MRU insertion with probability ``epsilon``."""
 
@@ -113,6 +117,7 @@ class DipSharedContext(SharedContext):
         self.controller.reset()
 
 
+@register(dueling=True)
 class DipPolicy(ReplacementPolicy):
     """Dynamic insertion policy: set dueling between LRU and BIP.
 

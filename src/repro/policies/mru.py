@@ -15,8 +15,10 @@ from __future__ import annotations
 from collections.abc import Hashable
 
 from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import register
 
 
+@register(tags=("default-eval", "default-predictability"))
 class BitPlruPolicy(ReplacementPolicy):
     """Bit-PLRU (a.k.a. MRU replacement): eager bit reset on saturation."""
 
@@ -58,6 +60,7 @@ class BitPlruPolicy(ReplacementPolicy):
         return copy
 
 
+@register(tags=("default-predictability",))
 class NruPolicy(ReplacementPolicy):
     """Not-recently-used: lazy bit reset during victim search."""
 

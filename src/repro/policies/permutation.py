@@ -30,8 +30,9 @@ from __future__ import annotations
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownPolicyError
 from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import register_builder
 
 
 def _is_permutation(vector: Sequence[int], size: int) -> bool:
@@ -207,3 +208,13 @@ class PermutationPolicy(ReplacementPolicy):
         copy = PermutationPolicy(self.ways, self.spec)
         copy._order = list(self._order)
         return copy
+
+
+def _build_from_spec(ways, set_index, shared, rng, params):
+    spec = params.get("spec")
+    if spec is None:
+        raise UnknownPolicyError("the 'permutation' policy requires a spec= parameter")
+    return PermutationPolicy(ways, spec)
+
+
+register_builder("permutation", PermutationPolicy, _build_from_spec)

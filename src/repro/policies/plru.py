@@ -21,9 +21,11 @@ from collections.abc import Hashable
 
 from repro.errors import ConfigurationError
 from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import register
 from repro.util.bits import ilog2, is_power_of_two
 
 
+@register(tags=("default-eval", "default-predictability"))
 class PlruPolicy(ReplacementPolicy):
     """Tree pseudo-LRU for power-of-two associativities."""
 

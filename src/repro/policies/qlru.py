@@ -135,3 +135,24 @@ def qlru_variants() -> dict[str, dict]:
                 "aging_rule": "to-max",
             }
     return variants
+
+
+def _register_variants() -> None:
+    """Register every named preset as its own registry entry.
+
+    The preset keyword arguments become the entry's defaults; explicit
+    ``PolicyFactory`` params still override them.
+    """
+    from repro.policies.registry import register_builder
+
+    for variant_name, preset in qlru_variants().items():
+
+        def build(ways, set_index, shared, rng, params, _preset=preset):
+            merged = dict(_preset)
+            merged.update(params)
+            return QlruPolicy(ways, **merged)
+
+        register_builder(variant_name, QlruPolicy, build)
+
+
+_register_variants()

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import register
 from repro.util.rng import SeededRng
 
 
+@register(rng=True, tags=("default-eval",))
 class RandomPolicy(ReplacementPolicy):
     """Evict a uniformly random way; hits and fills keep no state."""
 

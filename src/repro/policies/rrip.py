@@ -26,9 +26,11 @@ from collections.abc import Hashable
 from repro.errors import ConfigurationError
 from repro.policies.base import ReplacementPolicy, SharedContext
 from repro.policies.dueling import DuelController
+from repro.policies.registry import register
 from repro.util.rng import SeededRng
 
 
+@register(tags=("default-eval",))
 class SrripPolicy(ReplacementPolicy):
     """Static RRIP with hit-priority promotion."""
 
@@ -72,6 +74,7 @@ class SrripPolicy(ReplacementPolicy):
         return copy
 
 
+@register(rng=True)
 class BrripPolicy(SrripPolicy):
     """Bimodal RRIP: distant insertion with occasional long insertion."""
 
@@ -114,6 +117,7 @@ class DrripSharedContext(SharedContext):
         self.controller.reset()
 
 
+@register(dueling=True)
 class DrripPolicy(ReplacementPolicy):
     """Dynamic RRIP: set dueling between SRRIP (primary) and BRRIP."""
 

@@ -21,8 +21,10 @@ from collections.abc import Hashable
 
 from repro.errors import ConfigurationError
 from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import register
 
 
+@register
 class SlruPolicy(ReplacementPolicy):
     """Segmented LRU with a configurable protected-segment capacity."""
 

@@ -29,6 +29,9 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 
 @dataclass(frozen=True)
 class CellTiming:
@@ -114,6 +117,13 @@ class ExperimentRunner:
         if len(labels) != len(tasks):
             raise ValueError(f"{len(tasks)} tasks but {len(labels)} labels")
         indexed = list(enumerate(tasks))
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                "runner.scheduled",
+                cells=len(tasks),
+                jobs=self.jobs if self.parallel else 1,
+            )
         if not self.parallel or len(tasks) <= 1:
             return self._run_serially(fn, indexed, labels, source="serial")
 
@@ -154,6 +164,10 @@ class ExperimentRunner:
                         except Exception:
                             # Worker death, pickling failure, or a task
                             # error; all retried, then run serially.
+                            obs_metrics.DEFAULT.incr("runner.chunk_retries")
+                            tracer = obs_trace.ACTIVE
+                            if tracer is not None:
+                                tracer.emit("runner.retry", cells=len(chunk))
                             failed.append(chunk)
                             continue
                         for index, value, seconds in rows:
@@ -191,9 +205,28 @@ class ExperimentRunner:
         ]
 
     def record(self, index: int, label: str, seconds: float, source: str) -> None:
-        """Append one timing record and notify the progress hook."""
+        """Append one timing record and notify the progress hook.
+
+        This is the single choke point every execution path (serial,
+        parallel, fallback, memo) goes through, so it also carries the
+        observability bookkeeping: per-source cell counters, a wall-time
+        histogram, and a ``runner.cell`` trace event.
+        """
         timing = CellTiming(index=index, label=label, seconds=seconds, source=source)
         self.timings.append(timing)
+        metrics = obs_metrics.DEFAULT
+        metrics.incr(f"runner.cells.{source}")
+        metrics.observe("runner.cell_seconds", seconds)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                "runner.cell",
+                index=index,
+                label=label,
+                seconds=round(seconds, 6),
+                source=source,
+                memo=source == "memo",
+            )
         if self.progress is not None:
             self.progress(timing)
 

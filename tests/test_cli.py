@@ -1,8 +1,11 @@
 """Tests for the repro-cache command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import read_jsonl, validate_result_file
 
 
 class TestParser:
@@ -79,4 +82,79 @@ class TestQueryCommand:
 
     def test_query_parse_error_reported(self, capsys):
         assert main(["query", "--policy", "lru", "2*( a"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_query_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace_file = tmp_path / "run.jsonl"
+        metrics_file = tmp_path / "run.metrics.json"
+        code = main(
+            ["query", "--policy", "lru", "--ways", "2",
+             "--trace", str(trace_file), "--metrics", str(metrics_file),
+             "a b a?"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "a=hit"
+        events = read_jsonl(trace_file)
+        assert any(e["kind"] == "oracle.query" for e in events)
+        result = validate_result_file(metrics_file)
+        assert result.name == "cli-query"
+        assert result.params["policy"] == "lru"
+        assert result.metrics["counters"]["oracle.measurements"] >= 1
+
+    def test_evaluate_metrics_sidecar_validates(self, tmp_path, capsys):
+        metrics_file = tmp_path / "eval.metrics.json"
+        code = main(
+            ["evaluate", "--policies", "lru,fifo", "--size", "4096",
+             "--ways", "4", "--metrics", str(metrics_file)]
+        )
+        assert code == 0
+        result = validate_result_file(metrics_file)
+        counters = result.metrics["counters"]
+        cells = sum(
+            count for name, count in counters.items()
+            if name.startswith("runner.cells.")
+        )
+        assert cells > 0
+
+    def test_trace_subcommand_filters(self, tmp_path, capsys):
+        trace_file = tmp_path / "run.jsonl"
+        assert main(
+            ["query", "--policy", "lru", "--ways", "2",
+             "--trace", str(trace_file), "a b a? c?"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_file), "--kind", "oracle."]) == 0
+        out = capsys.readouterr().out
+        assert "oracle.query" in out
+        assert main(["trace", str(trace_file), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle.query" in out
+        assert "total" in out
+
+    def test_trace_subcommand_where_and_limit(self, tmp_path, capsys):
+        trace_file = tmp_path / "run.jsonl"
+        events = [
+            {"seq": 1, "kind": "oracle.query", "misses": 0},
+            {"seq": 2, "kind": "oracle.query", "misses": 2},
+            {"seq": 3, "kind": "runner.cell", "source": "serial"},
+        ]
+        trace_file.write_text(
+            "\n".join(json.dumps(event) for event in events) + "\n"
+        )
+        assert main(["trace", str(trace_file), "--where", "misses=2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1 and "misses=2" in out[0]
+        assert main(["trace", str(trace_file), "--limit", "1"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+    def test_trace_subcommand_bad_where(self, tmp_path, capsys):
+        trace_file = tmp_path / "run.jsonl"
+        trace_file.write_text("")
+        assert main(["trace", str(trace_file), "--where", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_subcommand_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
         assert "error" in capsys.readouterr().err

@@ -11,6 +11,14 @@ def lru_oracle(ways=2):
     return SimulatedSetOracle(LruPolicy(ways))
 
 
+def report(result):
+    """The classic one-line rendering, rebuilt from the structured result."""
+    return " ".join(
+        f"{outcome.name}={'hit' if outcome.hit else 'miss'}"
+        for outcome in result.outcomes
+    )
+
+
 class TestParsing:
     def test_names_and_probes(self):
         query = parse_query("a b a? c?")
@@ -46,33 +54,42 @@ class TestParsing:
 
 class TestExecution:
     def test_basic_hit_miss(self):
-        assert run_query(lru_oracle(), "a b a? c?") == "a=hit c=miss"
+        result = run_query(lru_oracle(), "a b a? c?")
+        assert report(result) == "a=hit c=miss"
+        assert result.miss_count == 1
+        assert result.hit_count == 1
+        assert result.query == "a b a? c?"
+
+    def test_outcome_positions(self):
+        result = run_query(lru_oracle(), "a b a? c?")
+        assert [outcome.position for outcome in result.outcomes] == [2, 3]
 
     def test_lru_vs_fifo_divergence(self):
         # The canonical LRU/FIFO separator: touch a, fill past capacity.
         query = "a b a @ a?"
-        assert run_query(lru_oracle(2), query) == "a=hit"
-        assert run_query(SimulatedSetOracle(FifoPolicy(2)), query) == "a=miss"
+        assert report(run_query(lru_oracle(2), query)) == "a=hit"
+        assert report(run_query(SimulatedSetOracle(FifoPolicy(2)), query)) == "a=miss"
 
     def test_repetition_in_execution(self):
         # Four distinct fresh blocks evict everything from a 4-way set.
-        assert run_query(SimulatedSetOracle(LruPolicy(4)), "a b c d 4*@ a?") == "a=miss"
+        result = run_query(SimulatedSetOracle(LruPolicy(4)), "a b c d 4*@ a?")
+        assert report(result) == "a=miss"
 
     def test_plru_anomaly_expressible(self):
         # In 4-way tree PLRU, hits can protect one side of the tree so a
         # line survives more fresh misses than under LRU.
         result_plru = run_query(SimulatedSetOracle(PlruPolicy(4)), "a b c d a c a?")
         result_lru = run_query(SimulatedSetOracle(LruPolicy(4)), "a b c d a c a?")
-        assert result_plru == result_lru == "a=hit"
+        assert report(result_plru) == report(result_lru) == "a=hit"
 
     def test_probes_see_full_prefix(self):
         # Each probe replays ALL preceding accesses (including earlier
         # probed ones): after a b c the set is {b, c}; the probed access
         # to a then evicts b, so the second probe misses too.
-        assert run_query(lru_oracle(2), "a b c a? b?") == "a=miss b=miss"
+        assert report(run_query(lru_oracle(2), "a b c a? b?")) == "a=miss b=miss"
 
     def test_probe_replay_not_polluted_by_measurement(self):
         # A probe must not double-count its own access: re-probing the
         # same block twice reports the prefix-state outcome both times
         # in the hit case.
-        assert run_query(lru_oracle(2), "a b b? b?") == "b=hit b=hit"
+        assert report(run_query(lru_oracle(2), "a b b? b?")) == "b=hit b=hit"

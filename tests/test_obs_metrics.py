@@ -1,0 +1,79 @@
+"""Tests for the repro.obs metrics aggregator."""
+
+import json
+
+from repro.obs.metrics import DEFAULT, Metrics
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        metrics = Metrics()
+        metrics.incr("oracle.measurements")
+        metrics.incr("oracle.measurements", 4)
+        assert metrics.counter("oracle.measurements") == 5
+
+    def test_unknown_counter_reads_zero(self):
+        assert Metrics().counter("nope") == 0
+
+
+class TestObservations:
+    def test_summary_statistics(self):
+        metrics = Metrics()
+        for value in (1.0, 2.0, 3.0):
+            metrics.observe("probe_misses", value)
+        summary = metrics.summary("probe_misses")
+        assert summary.count == 3
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.mean == 2.0
+
+    def test_histogram_buckets_are_power_of_two(self):
+        metrics = Metrics()
+        for value in (0.3, 1.5, 3.0, 900.0):
+            metrics.observe("seconds", value)
+        buckets = metrics.summary("seconds").buckets
+        assert set(buckets) == {0.5, 2.0, 4.0, 1024.0}
+        assert all(count == 1 for count in buckets.values())
+
+    def test_nonpositive_values_share_zero_bucket(self):
+        metrics = Metrics()
+        metrics.observe("delta", 0.0)
+        metrics.observe("delta", -4.0)
+        assert metrics.summary("delta").buckets == {0.0: 2}
+
+    def test_timer_records_elapsed(self):
+        metrics = Metrics()
+        with metrics.timer("work"):
+            pass
+        summary = metrics.summary("work")
+        assert summary.count == 1
+        assert summary.total >= 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        metrics = Metrics()
+        metrics.incr("a", 2)
+        metrics.observe("b", 1.25)
+        snapshot = metrics.snapshot()
+        parsed = json.loads(json.dumps(snapshot))
+        assert parsed["counters"]["a"] == 2
+        assert parsed["observations"]["b"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        metrics = Metrics()
+        metrics.incr("a")
+        metrics.observe("b", 1.0)
+        metrics.reset()
+        assert metrics.snapshot() == {"counters": {}, "observations": {}}
+
+    def test_format_summary_mentions_names(self):
+        metrics = Metrics()
+        metrics.incr("oracle.measurements", 3)
+        metrics.observe("runner.cell_seconds", 0.5)
+        text = metrics.format_summary()
+        assert "oracle.measurements" in text
+        assert "runner.cell_seconds" in text
+
+    def test_default_store_exists(self):
+        assert isinstance(DEFAULT, Metrics)

@@ -1,0 +1,123 @@
+"""Tests for the ExperimentResult protocol and its validators."""
+
+import pytest
+
+from repro.core import InferenceConfig, InferenceResult, PermutationInference, SimulatedSetOracle
+from repro.errors import ResultSchemaError
+from repro.obs.result import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    main,
+    validate_result,
+    validate_result_file,
+)
+from repro.policies import get
+
+
+def sample_result():
+    return ExperimentResult(
+        name="sample",
+        params={"seed": 0, "policies": ["lru", "fifo"]},
+        data={"rows": [[1, 2], [3, 4]]},
+        metrics={"counters": {"oracle.measurements": 7}, "observations": {}},
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        result = sample_result()
+        clone = ExperimentResult.from_json(result.to_json())
+        assert clone == result
+
+    def test_dict_round_trip(self):
+        result = sample_result()
+        assert ExperimentResult.from_dict(result.to_dict()) == result
+
+    def test_defaults(self):
+        result = ExperimentResult(name="x", params={}, data=None)
+        assert result.schema_version == SCHEMA_VERSION
+        assert result.metrics == {}
+
+
+class TestValidation:
+    def test_valid_payload_passes(self):
+        payload = sample_result().to_dict()
+        assert validate_result(payload) is payload
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ResultSchemaError, match="object"):
+            validate_result([1, 2])
+
+    def test_missing_fields_named(self):
+        with pytest.raises(ResultSchemaError, match="missing fields.*data"):
+            validate_result({"schema_version": 1, "name": "x", "params": {}, "metrics": {}})
+
+    def test_bad_version_rejected(self):
+        payload = sample_result().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ResultSchemaError, match="unsupported"):
+            validate_result(payload)
+        payload["schema_version"] = True
+        with pytest.raises(ResultSchemaError, match="integer"):
+            validate_result(payload)
+
+    def test_empty_name_rejected(self):
+        payload = sample_result().to_dict()
+        payload["name"] = ""
+        with pytest.raises(ResultSchemaError, match="name"):
+            validate_result(payload)
+
+    def test_bad_json_reported(self):
+        with pytest.raises(ResultSchemaError, match="JSON"):
+            ExperimentResult.from_json("{nope")
+
+
+class TestFileValidation:
+    def test_validate_result_file(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(sample_result().to_json(indent=2))
+        assert validate_result_file(path).name == "sample"
+
+    def test_main_ok_and_invalid(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(sample_result().to_json())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main([str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main([str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "INVALID" in captured.err
+        assert main([]) == 2
+
+
+class TestProducers:
+    def test_inference_result_round_trip(self):
+        oracle = SimulatedSetOracle(get("lru", 2))
+        inferred = PermutationInference(
+            oracle, config=InferenceConfig(verify_sequences=2)
+        ).infer()
+        envelope = inferred.to_experiment_result(params={"policy": "lru"})
+        validate_result(envelope.to_dict())
+        rebuilt = InferenceResult.from_experiment_result(
+            ExperimentResult.from_json(envelope.to_json())
+        )
+        assert rebuilt.spec == inferred.spec
+        assert rebuilt.ways == inferred.ways
+        assert rebuilt.verified == inferred.verified
+        assert rebuilt.measurements == inferred.measurements
+
+    def test_miss_ratio_matrix_round_trip(self):
+        from repro.cache import CacheConfig
+        from repro.eval.missratio import miss_ratio_matrix
+        from repro.workloads import cyclic_loop
+
+        config = CacheConfig("L1", 4096, 4)
+        traces = [cyclic_loop(32, iterations=3), cyclic_loop(96, iterations=3)]
+        matrix = miss_ratio_matrix(traces, config, ["lru", "fifo"])
+        envelope = matrix.to_experiment_result(params={"seed": 0})
+        validate_result(envelope.to_dict())
+        rebuilt = type(matrix).from_experiment_result(
+            ExperimentResult.from_json(envelope.to_json())
+        )
+        assert rebuilt == matrix

@@ -1,0 +1,163 @@
+"""Tests for the repro.obs event bus and trace files."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import InferenceConfig, PermutationInference, SimulatedSetOracle
+from repro.eval.missratio import simulate_trace
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    Tracer,
+    filter_events,
+    format_event,
+    install,
+    read_jsonl,
+    tracing,
+    uninstall,
+    write_jsonl,
+)
+from repro.policies import get
+from repro.workloads import cyclic_loop
+
+
+@pytest.fixture(autouse=True)
+def _clean_bus():
+    """Every test starts and ends with no installed tracer."""
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestTracer:
+    def test_emit_assigns_sequence_numbers(self):
+        tracer = Tracer()
+        tracer.emit("oracle.query", misses=3)
+        tracer.emit("runner.cell", index=0)
+        assert [e["seq"] for e in tracer.events] == [1, 2]
+        assert tracer.events[0]["kind"] == "oracle.query"
+        assert tracer.events[0]["misses"] == 3
+
+    def test_include_filter_drops_other_kinds(self):
+        tracer = Tracer(include=("oracle.",))
+        tracer.emit("oracle.query", misses=0)
+        tracer.emit("runner.cell", index=0)
+        assert [e["kind"] for e in tracer.events] == ["oracle.query"]
+
+    def test_wants_cache_precomputed(self):
+        assert Tracer().wants_cache
+        assert Tracer(include=("cache.",)).wants_cache
+        assert not Tracer(include=("oracle.", "runner.")).wants_cache
+
+    def test_sink_receives_events_even_without_keeping(self):
+        seen = []
+        tracer = Tracer(keep_events=False, sink=seen.append)
+        tracer.emit("infer.start", ways=4)
+        assert tracer.events == []
+        assert seen[0]["kind"] == "infer.start"
+
+    def test_install_uninstall(self):
+        tracer = Tracer()
+        assert install(tracer) is tracer
+        assert obs_trace.ACTIVE is tracer
+        assert uninstall() is tracer
+        assert obs_trace.ACTIVE is None
+
+    def test_tracing_context_restores_previous(self):
+        outer = install(Tracer())
+        with tracing() as inner:
+            assert obs_trace.ACTIVE is inner
+        assert obs_trace.ACTIVE is outer
+
+
+class TestInstrumentation:
+    def test_oracle_emits_query_events(self):
+        oracle = SimulatedSetOracle(get("lru", 4))
+        with tracing(include=("oracle.",)) as tracer:
+            oracle.count_misses([0, 1], [0, 9])
+        (event,) = tracer.events
+        assert event["kind"] == "oracle.query"
+        assert event["setup"] == 2
+        assert event["probe"] == 2
+        assert event["misses"] == 1
+
+    def test_cache_events_cover_hit_miss_evict_fill(self):
+        from repro.cache.set import CacheSet
+
+        with tracing(include=("cache.",)) as tracer:
+            cache_set = CacheSet(2, get("lru", 2))
+            cache_set.access(1)
+            cache_set.access(1)
+            cache_set.access(2)
+            cache_set.access(3)  # evicts 1
+        kinds = [e["kind"] for e in tracer.events]
+        assert kinds.count("cache.hit") == 1
+        assert kinds.count("cache.miss") == 3
+        assert kinds.count("cache.fill") == 3
+        assert kinds.count("cache.evict") == 1
+        evict = next(e for e in tracer.events if e["kind"] == "cache.evict")
+        assert evict["tag"] == 1
+
+    def test_inference_emits_phases_and_end(self):
+        oracle = SimulatedSetOracle(get("lru", 2))
+        with tracing(include=("infer.",)) as tracer:
+            result = PermutationInference(
+                oracle, config=InferenceConfig(verify_sequences=2)
+            ).infer()
+        assert result.succeeded
+        kinds = [e["kind"] for e in tracer.events]
+        assert kinds[0] == "infer.start"
+        assert kinds[-1] == "infer.end"
+        phases = [
+            e["phase"] for e in tracer.events
+            if e["kind"] == "infer.phase" and e["status"] == "start"
+        ]
+        assert phases == ["baseline", "hit-perms", "verify"]
+        end = tracer.events[-1]
+        assert end["succeeded"] is True
+        assert end["measurements"] == oracle.measurements
+
+    def test_tracing_does_not_change_results(self):
+        """Bit-identical simulation and inference with and without a tracer."""
+        trace = cyclic_loop(96, iterations=4)
+        config = CacheConfig("L1", 4096, 4)
+        plain_stats = simulate_trace(trace, config, "plru")
+        plain_infer = PermutationInference(
+            SimulatedSetOracle(get("plru", 4)),
+            config=InferenceConfig(verify_sequences=3),
+        ).infer()
+        with tracing():
+            traced_stats = simulate_trace(trace, config, "plru")
+            traced_infer = PermutationInference(
+                SimulatedSetOracle(get("plru", 4)),
+                config=InferenceConfig(verify_sequences=3),
+            ).infer()
+        assert traced_stats == plain_stats
+        assert traced_infer.spec == plain_infer.spec
+        assert traced_infer.measurements == plain_infer.measurements
+        assert traced_infer.accesses == plain_infer.accesses
+
+
+class TestTraceFiles:
+    def test_jsonl_round_trip(self, tmp_path):
+        events = [
+            {"seq": 1, "kind": "oracle.query", "misses": 2},
+            {"seq": 2, "kind": "runner.cell", "label": "a/b"},
+        ]
+        path = write_jsonl(events, tmp_path / "run.jsonl")
+        assert read_jsonl(path) == events
+
+    def test_filter_by_kind_where_and_limit(self):
+        events = [
+            {"seq": 1, "kind": "oracle.query", "misses": 2},
+            {"seq": 2, "kind": "oracle.query", "misses": 0},
+            {"seq": 3, "kind": "runner.cell", "source": "serial"},
+        ]
+        assert len(filter_events(events, kinds=["oracle."])) == 2
+        assert filter_events(events, where={"misses": "0"}) == [events[1]]
+        assert filter_events(events, limit=1) == [events[0]]
+
+    def test_format_event_is_one_line(self):
+        line = format_event({"seq": 7, "kind": "cache.hit", "tag": 3, "way": 1})
+        assert "cache.hit" in line
+        assert "tag=3" in line
+        assert "\n" not in line

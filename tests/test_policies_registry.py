@@ -2,12 +2,19 @@
 
 import pytest
 
-from repro.errors import UnknownPolicyError
+from repro.errors import ConfigurationError, UnknownPolicyError
 from repro.policies import (
+    LruPolicy,
     PolicyFactory,
+    available,
     available_policies,
+    default_policies,
+    get,
+    get_entry,
     lru_spec,
     make_policy,
+    register,
+    unregister,
 )
 from repro.util.rng import SeededRng
 
@@ -41,6 +48,64 @@ class TestRegistry:
     def test_permutation_requires_spec(self):
         with pytest.raises(UnknownPolicyError, match="spec"):
             make_policy("permutation", 4)
+
+    def test_deprecated_aliases_delegate(self):
+        assert available_policies() == available()
+        assert type(make_policy("lru", 4)) is type(get("lru", 4))
+
+
+class TestRegisterDecorator:
+    def test_decorator_registers_and_builds(self):
+        @register(name="_test_lru")
+        class ProbePolicy(LruPolicy):
+            pass
+
+        try:
+            assert "_test_lru" in available()
+            policy = get("_test_lru", 4)
+            assert isinstance(policy, ProbePolicy)
+            assert policy.ways == 4
+            assert get_entry("_test_lru").cls is ProbePolicy
+        finally:
+            unregister("_test_lru")
+        assert "_test_lru" not in available()
+
+    def test_duplicate_name_rejected(self):
+        @register(name="_test_dup")
+        class FirstPolicy(LruPolicy):
+            pass
+
+        try:
+            with pytest.raises(ConfigurationError, match="duplicate"):
+
+                @register(name="_test_dup")
+                class SecondPolicy(LruPolicy):
+                    pass
+
+        finally:
+            unregister("_test_dup")
+
+    def test_rng_and_dueling_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            register(rng=True, dueling=True)
+
+    def test_tags_select_and_order(self):
+        assert available(tag="default-eval") == sorted(default_policies("eval"))
+        # Curated groups keep registration order, lru leading.
+        assert default_policies("eval")[0] == "lru"
+        assert default_policies("predictability")[0] == "lru"
+
+    def test_default_groups_cover_cli_defaults(self):
+        assert default_policies("eval") == [
+            "lru", "fifo", "plru", "bitplru", "srrip", "random"
+        ]
+        assert default_policies("predictability") == [
+            "lru", "fifo", "plru", "bitplru", "nru"
+        ]
+
+    def test_get_rejects_invalid_geometry(self):
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            get("plru", 6)
 
 
 class TestPolicyFactory:

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.cache.set import CacheSet
 from repro.core import SimulatedSetOracle
 from repro.core.query import parse_query, run_query
-from repro.policies import make_policy
+from repro.policies import get
 
 policy_names = st.sampled_from(["lru", "fifo", "plru", "bitplru", "srrip"])
 
@@ -33,18 +33,20 @@ def queries(draw):
 @settings(max_examples=120, deadline=None)
 def test_run_query_matches_direct_simulation(name, text):
     query = parse_query(text)
-    oracle = SimulatedSetOracle(make_policy(name, 4))
+    oracle = SimulatedSetOracle(get(name, 4))
     reported = run_query(oracle, text)
 
-    cache_set = CacheSet(4, make_policy(name, 4))
-    expected_parts = []
+    cache_set = CacheSet(4, get(name, 4))
+    expected = []
     for position, block in enumerate(query.blocks):
         hit = cache_set.access(block).hit
         if position in query.probed:
-            expected_parts.append(
-                f"{query.names[position]}={'hit' if hit else 'miss'}"
-            )
-    assert reported == " ".join(expected_parts)
+            expected.append((query.names[position], position, hit))
+    assert [
+        (outcome.name, outcome.position, outcome.hit)
+        for outcome in reported.outcomes
+    ] == expected
+    assert reported.miss_count == sum(1 for _, _, hit in expected if not hit)
 
 
 @given(text=queries(), count=st.integers(min_value=1, max_value=4))
