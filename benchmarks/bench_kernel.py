@@ -1,0 +1,171 @@
+"""BENCH — compiled kernel versus interpreter on the serial E3 grid.
+
+The acceptance benchmark for :mod:`repro.kernels`: the full E3
+miss-ratio grid (every policy x every workload, serial) is timed twice,
+once with the kernel disabled (interpreted :class:`repro.cache.Cache`)
+and once enabled (compiled automata, direct mode for the randomized /
+set-dueling policies).  The matrices must be identical cell for cell and
+the kernel run at least 5x faster; both numbers land in
+``benchmarks/results/bench_kernel.txt`` and the
+``benchmarks/results/BENCH_kernel.json`` trajectory point (an
+ExperimentResult envelope, validated in CI by
+``python -m repro.obs.result``).
+
+A second, much smaller grid provides the CI perf smoke check with a
+deliberately loose bar (>= 1.5x) so runner noise cannot fail the build.
+
+Both tests skip under ``--obs-trace``: an active tracer routes
+everything through the instrumented interpreter (see OBSERVABILITY.md),
+so there would be nothing to compare.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.eval import miss_ratio_matrix
+from repro.kernels import clear_compile_cache, compiled_for_factory, kernel_disabled
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.result import ExperimentResult
+from repro.runner import clear_memo
+from repro.util.tables import format_table
+from repro.workloads import workload_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# The E3 grid (kept in sync with bench_e3_missratio).
+POLICIES = ["lru", "fifo", "plru", "bitplru", "nru", "srrip", "lip", "dip", "random"]
+CONFIG = CacheConfig("L2", 64 * 1024, 8)  # 1024 lines
+
+SMOKE_POLICIES = ["lru", "plru", "srrip"]
+
+
+def _skip_if_tracing():
+    if obs_trace.ACTIVE is not None:
+        pytest.skip("an active tracer disables the kernel fast path")
+
+
+def _timed_grid(policies, traces, kernel: bool):
+    """One serial grid run; returns (matrix, wall seconds).
+
+    The compile caches are dropped first so the kernel's timing includes
+    every automaton compilation it needs — the speedup is end to end,
+    not warm-cache flattery.
+    """
+    clear_memo()
+    clear_compile_cache()
+    if kernel:
+        start = time.perf_counter()
+        matrix = miss_ratio_matrix(traces, CONFIG, policies, seed=0, jobs=0,
+                                   memoize=False)
+        return matrix, time.perf_counter() - start
+    with kernel_disabled():
+        start = time.perf_counter()
+        matrix = miss_ratio_matrix(traces, CONFIG, policies, seed=0, jobs=0,
+                                   memoize=False)
+        return matrix, time.perf_counter() - start
+
+
+def _policy_modes(policies, ways):
+    """(policy, mode, states) rows read off the compile cache after a run."""
+    rows = []
+    for name in policies:
+        compiled = compiled_for_factory(name, (), ways)
+        if compiled is None:
+            rows.append([name, "direct", "-"])
+        else:
+            rows.append([name, "compiled", compiled.num_states])
+    return rows
+
+
+def test_bench_kernel_e3_speedup(save_result):
+    """Acceptance: the kernel runs the serial E3 grid >= 5x faster."""
+    _skip_if_tracing()
+    traces = workload_suite(cache_lines=CONFIG.num_sets * CONFIG.ways, seed=0)
+
+    interpreted, interpreted_seconds = _timed_grid(POLICIES, traces, kernel=False)
+    compiled, kernel_seconds = _timed_grid(POLICIES, traces, kernel=True)
+    speedup = interpreted_seconds / kernel_seconds if kernel_seconds else 0.0
+
+    modes = _policy_modes(POLICIES, CONFIG.ways)
+    table = format_table(
+        ["mode", "cells", "seconds", "speedup"],
+        [
+            ["interpreter", len(interpreted.cells), f"{interpreted_seconds:.3f}", "1.00x"],
+            ["kernel", len(compiled.cells), f"{kernel_seconds:.3f}", f"{speedup:.2f}x"],
+        ],
+        title=f"BENCH kernel: serial E3 grid @ {CONFIG.describe()}",
+    ) + "\n\n" + format_table(
+        ["policy", "kernel mode", "automaton states"],
+        modes,
+        title="Per-policy kernel coverage",
+    )
+
+    data = {
+        "cells": len(interpreted.cells),
+        "interpreter_seconds": interpreted_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": speedup,
+        "identical": interpreted == compiled,
+        "policies": {row[0]: {"mode": row[1], "states": row[2]} for row in modes},
+    }
+    params = {"policies": POLICIES, "config": CONFIG.describe(), "seed": 0}
+    save_result("bench_kernel", table, data=data, params=params)
+
+    # The BENCH_kernel.json trajectory point: same envelope format as the
+    # metrics sidecars, fixed name so successive runs can be compared.
+    point = ExperimentResult(
+        name="bench_kernel",
+        params=json.loads(json.dumps(params, default=str)),
+        data=json.loads(json.dumps(data, default=str)),
+        metrics=obs_metrics.DEFAULT.snapshot(),
+    )
+    trajectory = RESULTS_DIR / "BENCH_kernel.json"
+    trajectory.write_text(point.to_json(indent=2) + "\n")
+    print(f"[trajectory point saved to {trajectory}]")
+
+    assert interpreted == compiled, "kernel grid diverged from the interpreter"
+    assert speedup >= 5.0, (
+        f"kernel speedup {speedup:.2f}x below the 5x acceptance bar "
+        f"({interpreted_seconds:.3f}s -> {kernel_seconds:.3f}s)"
+    )
+
+
+def test_bench_kernel_smoke(save_result):
+    """CI perf smoke: the kernel beats the interpreter on a small grid."""
+    _skip_if_tracing()
+    traces = workload_suite(cache_lines=CONFIG.num_sets * CONFIG.ways, seed=0)[:3]
+
+    interpreted, interpreted_seconds = _timed_grid(SMOKE_POLICIES, traces, kernel=False)
+    compiled, kernel_seconds = _timed_grid(SMOKE_POLICIES, traces, kernel=True)
+    speedup = interpreted_seconds / kernel_seconds if kernel_seconds else 0.0
+
+    save_result(
+        "bench_kernel_smoke",
+        format_table(
+            ["mode", "seconds", "speedup"],
+            [
+                ["interpreter", f"{interpreted_seconds:.3f}", "1.00x"],
+                ["kernel", f"{kernel_seconds:.3f}", f"{speedup:.2f}x"],
+            ],
+            title="BENCH kernel smoke: small serial E3 grid",
+        ),
+        data={
+            "interpreter_seconds": interpreted_seconds,
+            "kernel_seconds": kernel_seconds,
+            "speedup": speedup,
+            "identical": interpreted == compiled,
+        },
+        params={"policies": SMOKE_POLICIES, "workloads": len(traces)},
+    )
+
+    assert interpreted == compiled
+    # Loose on purpose: this guards "kernel actually engaged", the 5x
+    # acceptance bar lives in test_bench_kernel_e3_speedup.
+    assert speedup >= 1.5, f"kernel only {speedup:.2f}x faster on the smoke grid"

@@ -87,16 +87,18 @@ class CacheSet:
 
     def access(self, tag: int, write: bool = False) -> SetAccessResult:
         """Perform one access; fill on miss; return what happened."""
+        # Read the tracer global once: the hit path is the hottest line
+        # in whole-trace simulation and paid for the module-attribute
+        # load twice before returning.
+        tracer = obs_trace.ACTIVE
         way = self.lookup(tag)
         if way is not None:
             self.policy.touch(way)
             if write:
                 self._dirty[way] = True
-            tracer = obs_trace.ACTIVE
             if tracer is not None and tracer.wants_cache:
                 tracer.emit("cache.hit", tag=tag, way=way)
             return SetAccessResult(hit=True, way=way, evicted_tag=None)
-        tracer = obs_trace.ACTIVE
         if tracer is not None and tracer.wants_cache:
             tracer.emit("cache.miss", tag=tag, filled=True)
         return self.fill(tag, write=write)

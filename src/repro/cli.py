@@ -36,6 +36,7 @@ from repro.hardware import (
     NoiseModel,
     get_processor,
 )
+from repro.kernels import kernel_enabled, set_kernel_enabled
 from repro.obs import (
     DEFAULT,
     ExperimentResult,
@@ -231,6 +232,19 @@ def _add_obs_options(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_options(command: argparse.ArgumentParser) -> None:
+    """Attach the compiled-kernel switch to one simulation subcommand."""
+    group = command.add_mutually_exclusive_group()
+    group.add_argument(
+        "--kernel", dest="kernel", action="store_true", default=True,
+        help="use the compiled simulation kernel where possible (default)",
+    )
+    group.add_argument(
+        "--no-kernel", dest="kernel", action="store_false",
+        help="force the interpreted simulator (reference path)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -253,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--check", action="store_true",
                        help="compare against the catalog ground truth")
     _add_obs_options(infer)
+    _add_kernel_options(infer)
 
     evaluate = sub.add_parser("evaluate", help="miss-ratio table over the workload suite")
     evaluate.add_argument("--policies", default=",".join(default_policies("eval")))
@@ -263,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--jobs", type=int, default=0,
                           help="worker processes for the grid (0 = serial)")
     _add_obs_options(evaluate)
+    _add_kernel_options(evaluate)
 
     bench = sub.add_parser(
         "bench",
@@ -282,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--show-matrix", action="store_true",
                        help="also print the resulting miss-ratio table")
     _add_obs_options(bench)
+    _add_kernel_options(bench)
 
     predict = sub.add_parser("predictability", help="evict/fill metrics table")
     predict.add_argument(
@@ -303,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--level", default="L1")
     query.add_argument("--seed", type=int, default=0)
     _add_obs_options(query)
+    _add_kernel_options(query)
 
     trace = sub.add_parser(
         "trace",
@@ -338,21 +356,31 @@ _SIDECAR_PARAM_TYPES = (str, int, float, bool, type(None))
 
 
 def _run_with_observability(args: argparse.Namespace) -> int:
-    """Dispatch one subcommand under the requested tracing/metrics setup."""
+    """Dispatch one subcommand under the requested tracing/metrics setup.
+
+    Also applies the ``--kernel/--no-kernel`` switch for the duration of
+    the command (an active tracer disables the kernel fast path anyway;
+    see OBSERVABILITY.md).
+    """
     trace_file = getattr(args, "trace_file", None)
     metrics_file = getattr(args, "metrics_file", None)
     command = _COMMANDS[args.command]
-    if trace_file is None and metrics_file is None:
-        return command(args)
-    DEFAULT.reset()
-    sink = JsonlWriter(trace_file) if trace_file is not None else None
-    install(Tracer(keep_events=False, sink=sink))
+    kernel_before = kernel_enabled()
+    set_kernel_enabled(getattr(args, "kernel", kernel_before))
     try:
-        status = command(args)
+        if trace_file is None and metrics_file is None:
+            return command(args)
+        DEFAULT.reset()
+        sink = JsonlWriter(trace_file) if trace_file is not None else None
+        install(Tracer(keep_events=False, sink=sink))
+        try:
+            status = command(args)
+        finally:
+            uninstall()
+            if sink is not None:
+                sink.close()
     finally:
-        uninstall()
-        if sink is not None:
-            sink.close()
+        set_kernel_enabled(kernel_before)
     if metrics_file is not None:
         result = ExperimentResult(
             name=f"cli-{args.command}",

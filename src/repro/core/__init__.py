@@ -46,7 +46,12 @@ from repro.core.identify import (
 )
 from repro.core.inference import InferenceConfig, InferenceResult, PermutationInference
 from repro.core.naming import known_specs, name_spec
-from repro.core.oracle import MissCountOracle, SimulatedSetOracle, VotingOracle
+from repro.core.oracle import (
+    CachingOracle,
+    MissCountOracle,
+    SimulatedSetOracle,
+    VotingOracle,
+)
 from repro.core.permutation import (
     canonical_form,
     conjugate_equivalent,
@@ -81,6 +86,7 @@ __all__ = [
     "MissCountOracle",
     "SimulatedSetOracle",
     "VotingOracle",
+    "CachingOracle",
     "PermutationInference",
     "InferenceConfig",
     "InferenceResult",

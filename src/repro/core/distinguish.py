@@ -21,7 +21,10 @@ from collections import deque
 from collections.abc import Callable, Sequence
 
 from repro.cache.set import CacheSet
+from repro.errors import KernelUnsupported
+from repro.obs import trace as obs_trace
 from repro.policies import ReplacementPolicy
+from repro import kernels
 
 PolicyFactoryFn = Callable[[], ReplacementPolicy]
 
@@ -44,6 +47,18 @@ def established_set(policy: ReplacementPolicy, thrash_factor: int = 2) -> CacheS
 
 def response(policy: ReplacementPolicy, probe: Sequence[int], thrash_factor: int = 2) -> tuple[bool, ...]:
     """Hit/miss outcome of each probe access from the established state."""
+    # Compiled fast path (deterministic policies, kernel on, no tracer):
+    # identification replays thousands of candidate responses, and the
+    # established state is just thrash + establishment from reset.
+    if obs_trace.ACTIVE is None and kernels.kernel_enabled():
+        compiled = kernels.compiled_for(policy)
+        if compiled is not None:
+            setup = [10_000 + i for i in range(thrash_factor * policy.ways)]
+            setup += list(range(policy.ways))
+            try:
+                return kernels.sequence_hits(compiled, setup, probe)
+            except KernelUnsupported:
+                kernels.mark_unsupported(policy)
     cache_set = established_set(policy, thrash_factor)
     return tuple(cache_set.access(block).hit for block in probe)
 
@@ -116,11 +131,11 @@ def random_distinguishing_sequence(
     pool = list(range(ways)) + [20_000 + i for i in range(ways)]
     for _ in range(tries):
         probe = [rng.choice(pool) for _ in range(length)]
-        if response(first, probe) != response(second, probe):
+        resp_a = response(first, probe)
+        resp_b = response(second, probe)
+        if resp_a != resp_b:
             # Truncate to the first divergence point: miss counts on the
             # prefix up to and including it must differ by construction.
-            resp_a = response(first, probe)
-            resp_b = response(second, probe)
             for index, (bit_a, bit_b) in enumerate(zip(resp_a, resp_b)):
                 if bit_a != bit_b:
                     return probe[: index + 1]

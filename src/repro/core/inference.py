@@ -35,12 +35,13 @@ from dataclasses import dataclass, field
 
 from repro.core.oracle import MissCountOracle
 from repro.core.permutation import standard_miss_perm
-from repro.errors import InferenceError
+from repro.errors import InferenceError, KernelUnsupported
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.result import ExperimentResult
 from repro.policies import PermutationPolicy, PermutationSpec
 from repro.cache.set import CacheSet
+from repro import kernels
 
 
 @contextmanager
@@ -358,9 +359,17 @@ class PermutationInference:
         ways: int, spec: PermutationSpec, establishment: list[int], probe: list[int]
     ) -> int:
         """Simulate the spec from the established state; count probe misses."""
-        cache_set = CacheSet(ways, PermutationPolicy(ways, spec))
         # The established state: way p holds establishment[A-1-p] at position p.
-        cache_set.preload([establishment[ways - 1 - p] for p in range(ways)])
+        preload = [establishment[ways - 1 - p] for p in range(ways)]
+        if obs_trace.ACTIVE is None and kernels.kernel_enabled():
+            compiled = kernels.compiled_for_spec(spec)
+            if compiled is not None:
+                try:
+                    return kernels.count_misses_preloaded(compiled, preload, probe)
+                except KernelUnsupported:
+                    kernels.mark_spec_unsupported(spec)
+        cache_set = CacheSet(ways, PermutationPolicy(ways, spec))
+        cache_set.preload(preload)
         misses = 0
         for block in probe:
             if not cache_set.access(block).hit:

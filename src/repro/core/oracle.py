@@ -23,6 +23,12 @@ Implementations:
   L2/L3.
 * :class:`VotingOracle` — repeats measurements and takes a per-sequence
   majority vote, the paper's defence against counter noise.
+* :class:`CachingOracle` — memoizes identical ``(setup, probe)``
+  measurements against a deterministic inner oracle.
+
+Simulated measurements additionally route through the compiled kernel
+(:mod:`repro.kernels`) when it is enabled and no tracer is active; the
+interpreted loop stays the instrumented reference path.
 """
 
 from __future__ import annotations
@@ -31,11 +37,12 @@ from abc import ABC, abstractmethod
 from collections import Counter
 from collections.abc import Sequence
 
-from repro.errors import MeasurementError
+from repro.errors import KernelUnsupported, MeasurementError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.policies import ReplacementPolicy
 from repro.cache.set import CacheSet
+from repro import kernels
 
 
 class MissCountOracle(ABC):
@@ -96,6 +103,19 @@ class SimulatedSetOracle(MissCountOracle):
         self.accesses = 0
 
     def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
+        # Compiled fast path: same measurement as the interpreted loop
+        # below (bit-identical by the kernel's equivalence suite), taken
+        # whenever the kernel is on and no tracer wants per-access events.
+        if obs_trace.ACTIVE is None and kernels.kernel_enabled():
+            compiled = kernels.compiled_for(self._prototype)
+            if compiled is not None:
+                try:
+                    misses = kernels.count_misses_kernel(compiled, setup, probe)
+                except KernelUnsupported:
+                    kernels.mark_unsupported(self._prototype)
+                else:
+                    self._note_measurement(len(setup), len(probe), misses)
+                    return misses
         policy = self._prototype.clone()
         policy.reset()
         cache_set = CacheSet(policy.ways, policy)
@@ -142,15 +162,34 @@ class VotingOracle(MissCountOracle):
         self.ways = inner.ways
 
     def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
-        counts = [
-            self._inner.count_misses(setup, probe) for _ in range(self.repetitions)
-        ]
-        if self.aggregate == "min":
-            result = min(counts)
-        elif self.aggregate == "median":
-            result = sorted(counts)[len(counts) // 2]
+        if self.aggregate == "majority":
+            # Short-circuit: once one count holds a strict majority
+            # (floor(reps/2)+1 votes, the ceil(reps/2) threshold for the
+            # odd repetition counts used in practice), no other count can
+            # catch up or tie, so the remaining repetitions cannot change
+            # the vote and are skipped.  min/median need every sample.
+            decisive = self.repetitions // 2 + 1
+            tally: Counter[int] = Counter()
+            counts = []
+            result: int | None = None
+            for _ in range(self.repetitions):
+                count = self._inner.count_misses(setup, probe)
+                counts.append(count)
+                tally[count] += 1
+                if tally[count] >= decisive:
+                    result = count
+                    break
+            if result is None:
+                result = tally.most_common(1)[0][0]
         else:
-            result = Counter(counts).most_common(1)[0][0]
+            counts = [
+                self._inner.count_misses(setup, probe)
+                for _ in range(self.repetitions)
+            ]
+            if self.aggregate == "min":
+                result = min(counts)
+            else:
+                result = sorted(counts)[len(counts) // 2]
         disagreements = sum(1 for count in counts if count != result)
         if disagreements:
             obs_metrics.DEFAULT.incr("oracle.vote_disagreements", disagreements)
@@ -172,6 +211,81 @@ class VotingOracle(MissCountOracle):
     @measurements.setter
     def measurements(self, value: int) -> None:
         # The base class assigns this attribute in __init__; delegate.
+        self._inner.measurements = value
+
+    @property
+    def accesses(self) -> int:  # type: ignore[override]
+        return self._inner.accesses
+
+    @accesses.setter
+    def accesses(self, value: int) -> None:
+        self._inner.accesses = value
+
+    def reset_cost(self) -> None:
+        self._inner.reset_cost()
+
+
+class CachingOracle(MissCountOracle):
+    """Memoizing wrapper: identical measurements are answered once.
+
+    Inference and the E7 ablations re-issue many structurally identical
+    ``(setup, probe)`` measurements (the establishment prefix is shared
+    by every position measurement, verification windows replay prefixes).
+    Against a *deterministic* oracle the answer cannot change, so it is
+    cached on the exact sequence pair and served back for free — cached
+    answers perform no inner measurement and therefore do not advance the
+    ``measurements``/``accesses`` cost counters, which is the point.
+
+    Do **not** wrap a noisy oracle directly: caching freezes the first
+    noisy sample.  Put the :class:`VotingOracle` *inside* the cache
+    (``CachingOracle(VotingOracle(noisy))``) so denoised values are what
+    gets memoized.
+    """
+
+    def __init__(self, inner: MissCountOracle) -> None:
+        self._inner = inner
+        self.ways = inner.ways
+        self._cache: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+        #: Measurements answered from the cache / passed to the inner oracle.
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
+        key = (tuple(setup), tuple(probe))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            obs_metrics.DEFAULT.incr("oracle.cache_hits")
+            return cached
+        self.cache_misses += 1
+        obs_metrics.DEFAULT.incr("oracle.cache_misses")
+        result = self._inner.count_misses(setup, probe)
+        self._cache[key] = result
+        return result
+
+    def count_misses_many(
+        self, queries: Sequence[tuple[Sequence[int], Sequence[int]]]
+    ) -> list[int]:
+        """Answer a batch of ``(setup, probe)`` queries in order.
+
+        Duplicates within the batch are measured once; batching callers
+        (grid experiments dispatching whole query lists) get one code
+        path instead of hand-rolled loops.
+        """
+        return [self.count_misses(setup, probe) for setup, probe in queries]
+
+    def clear_cache(self) -> None:
+        """Drop every memoized measurement and zero the hit/miss counters."""
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def measurements(self) -> int:  # type: ignore[override]
+        return self._inner.measurements
+
+    @measurements.setter
+    def measurements(self, value: int) -> None:
         self._inner.measurements = value
 
     @property

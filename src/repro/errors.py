@@ -51,6 +51,17 @@ class UnknownPolicyError(ReproError):
     """A policy name was not found in the policy registry."""
 
 
+class KernelUnsupported(ReproError):
+    """A policy cannot run on the compiled simulation kernel.
+
+    Raised by :func:`repro.kernels.compile_policy` for randomized or
+    adaptive policies (no hashable ``state_key``) and by a running kernel
+    when a policy's reachable state space exceeds the compilation budget.
+    Callers catch this and fall back to the interpreted simulator, whose
+    results the kernel is bit-identical to.
+    """
+
+
 class TraceFormatError(ReproError):
     """A trace file is malformed and cannot be parsed."""
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro.cache import Cache, CacheConfig, CacheStats
+from repro.kernels import try_simulate_trace
 from repro.obs.result import ExperimentResult
 from repro.policies import PolicyFactory
 from repro.runner import ExperimentRunner, SimCell, run_sim_cells
@@ -32,7 +33,15 @@ def simulate_trace(
     policy: str | PolicyFactory,
     seed: int = 0,
 ) -> CacheStats:
-    """Run a trace through a fresh cache; return its statistics."""
+    """Run a trace through a fresh cache; return its statistics.
+
+    Routed through the compiled kernel (:mod:`repro.kernels`) whenever it
+    is enabled and no tracer is active; the interpreted path below is the
+    reference behaviour, and the kernel is bit-identical to it.
+    """
+    stats = try_simulate_trace(trace, config, policy, seed)
+    if stats is not None:
+        return stats
     cache = Cache(config, policy, rng=SeededRng(seed))
     for address in trace:
         cache.access(address)

@@ -1,0 +1,105 @@
+"""Compiled policy-automaton simulation kernel.
+
+The interpreter (:mod:`repro.cache`) simulates one access as a chain of
+method calls and dataclass constructions.  This package compiles a
+deterministic replacement policy into flat integer transition tables
+(:mod:`repro.kernels.automaton`) and runs whole access sequences and
+address traces as table lookups (:mod:`repro.kernels.engine`), producing
+**bit-identical** miss counts, eviction orders and
+:class:`~repro.cache.stats.CacheStats`.
+
+Routing rules (enforced by the callers in :mod:`repro.core.oracle`,
+:mod:`repro.core.inference`, :mod:`repro.core.distinguish`,
+:mod:`repro.eval.missratio` and :mod:`repro.runner.cells`):
+
+* the kernel is used automatically when it is enabled (the default; see
+  :func:`set_kernel_enabled` and the CLI's ``--no-kernel``) **and** no
+  :mod:`repro.obs.trace` tracer is active — tracing keeps the
+  instrumented interpreter so per-access event streams are unchanged;
+* randomized/adaptive policies raise
+  :class:`~repro.errors.KernelUnsupported` at compile time and fall back
+  to the interpreter (whole-cache trace simulation additionally has a
+  "direct mode" that drives the real policy objects through an inlined
+  loop, still bit-identical);
+* a policy whose reachable state space exceeds the compile budget falls
+  back the same way, even if that is only discovered mid-run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import KernelUnsupported
+from repro.kernels.automaton import (
+    DEFAULT_BUDGET,
+    CompiledPolicy,
+    clear_compile_cache,
+    compile_policy,
+    compiled_for,
+    compiled_for_factory,
+    compiled_for_spec,
+    mark_factory_unsupported,
+    mark_spec_unsupported,
+    mark_unsupported,
+)
+from repro.kernels.engine import (
+    count_misses_kernel,
+    count_misses_preloaded,
+    sequence_hits,
+    simulate_sequence,
+    simulate_trace_direct,
+    simulate_trace_kernel,
+    try_simulate_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "CompiledPolicy",
+    "KernelUnsupported",
+    "compile_policy",
+    "compiled_for",
+    "compiled_for_factory",
+    "compiled_for_spec",
+    "mark_unsupported",
+    "mark_factory_unsupported",
+    "mark_spec_unsupported",
+    "clear_compile_cache",
+    "count_misses_kernel",
+    "count_misses_preloaded",
+    "sequence_hits",
+    "simulate_sequence",
+    "simulate_trace_direct",
+    "simulate_trace_kernel",
+    "try_simulate_trace",
+    "kernel_enabled",
+    "set_kernel_enabled",
+    "kernel_disabled",
+]
+
+#: Process-wide switch.  Worker processes forked by the runner inherit
+#: the parent's setting, so ``--no-kernel`` disables the fast path in
+#: parallel grids too.
+_ENABLED = True
+
+
+def kernel_enabled() -> bool:
+    """True when the compiled fast path may be used."""
+    return _ENABLED
+
+
+def set_kernel_enabled(enabled: bool) -> None:
+    """Globally enable or disable the compiled fast path."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def kernel_disabled():
+    """Temporarily force the interpreted path (tests, A/B benchmarks)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous

@@ -1,0 +1,325 @@
+"""Policy-automaton compiler: replacement policies as transition tables.
+
+The paper's central formalism is also its best optimization: a
+deterministic replacement policy managing one set is a *finite automaton*
+over per-set replacement states.  The observable events are
+
+* ``hit@w`` — an access hit the block in way ``w`` (``policy.touch``);
+* ``fill@w`` — a cold fill into the invalid way ``w`` (``policy.fill``);
+* ``miss`` — a miss in a full set (``policy.evict`` followed by
+  ``policy.fill(victim)``).
+
+:func:`compile_policy` enumerates reachable states by breadth-first
+search from the reset state and interns them as dense integer ids, so
+whole access sequences become flat list lookups instead of object method
+dispatch.  Enumeration is *lazy*: a ``(state, event)`` transition is
+computed (clone, apply event, intern the successor) the first time the
+simulation engine needs it and memoized in the flat tables forever after,
+so compiling never costs more than the states a workload actually visits.
+:meth:`CompiledPolicy.expand_all` forces the classic eager BFS when the
+full automaton is wanted (tests, state-space reports).
+
+Policies outside the automaton class — randomized (``state_key() is
+None``) or adaptive ones whose behaviour depends on cache-global shared
+state — raise :class:`~repro.errors.KernelUnsupported`, as does blowing
+the ``budget`` on reachable states; callers fall back to the interpreted
+simulator, which the kernel is bit-identical to by construction.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+
+from repro.errors import KernelUnsupported
+from repro.policies import (
+    PermutationPolicy,
+    PermutationSpec,
+    PolicyFactory,
+    ReplacementPolicy,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "CompiledPolicy",
+    "compile_policy",
+    "compiled_for",
+    "compiled_for_factory",
+    "compiled_for_spec",
+    "mark_unsupported",
+    "mark_factory_unsupported",
+    "mark_spec_unsupported",
+    "clear_compile_cache",
+]
+
+#: Default bound on interned states.  Large enough for every registered
+#: policy at 8 ways that a workload can realistically drive (full LRU is
+#: 8! = 40_320 states); small enough that a pathological policy cannot
+#: consume unbounded memory before the interpreter fallback kicks in.
+DEFAULT_BUDGET = 150_000
+
+
+class CompiledPolicy:
+    """Flat transition tables of one deterministic policy at one ways count.
+
+    States are dense ids; id 0 is the reset state.  The tables are flat
+    lists indexed ``state * ways + way`` (hits and cold fills) or
+    ``state`` (full-set misses); ``-1`` marks a transition that has not
+    been expanded yet.  The engine reads the tables directly — attribute
+    access is hoisted out of its inner loops — and calls the ``expand_*``
+    methods only on a ``-1``.
+    """
+
+    __slots__ = (
+        "ways",
+        "budget",
+        "hit_next",
+        "fill_next",
+        "miss_victim",
+        "miss_next",
+        "_ids",
+        "_policies",
+    )
+
+    def __init__(self, prototype: ReplacementPolicy, budget: int = DEFAULT_BUDGET) -> None:
+        if not prototype.DETERMINISTIC:
+            raise KernelUnsupported(
+                f"policy {type(prototype).__name__} is randomized; "
+                "the compiled kernel only covers deterministic automata"
+            )
+        root = prototype.clone()
+        root.reset()
+        key = root.state_key()
+        if key is None:
+            raise KernelUnsupported(
+                f"policy {type(prototype).__name__} exposes no state_key; "
+                "cannot enumerate its automaton"
+            )
+        self.ways = prototype.ways
+        self.budget = budget
+        self._ids: dict = {key: 0}
+        self._policies: list[ReplacementPolicy] = [root]
+        ways = self.ways
+        self.hit_next: list[int] = [-1] * ways
+        self.fill_next: list[int] = [-1] * ways
+        self.miss_victim: list[int] = [-1]
+        self.miss_next: list[int] = [-1]
+
+    @property
+    def num_states(self) -> int:
+        """Number of states interned so far (grows with lazy expansion)."""
+        return len(self._policies)
+
+    def _intern(self, policy: ReplacementPolicy) -> int:
+        key = policy.state_key()
+        sid = self._ids.get(key)
+        if sid is not None:
+            return sid
+        if len(self._policies) >= self.budget:
+            raise KernelUnsupported(
+                f"policy {type(policy).__name__} exceeds the kernel state "
+                f"budget of {self.budget} reachable states"
+            )
+        sid = len(self._policies)
+        self._ids[key] = sid
+        self._policies.append(policy)
+        ways = self.ways
+        self.hit_next.extend([-1] * ways)
+        self.fill_next.extend([-1] * ways)
+        self.miss_victim.append(-1)
+        self.miss_next.append(-1)
+        return sid
+
+    # -- lazy expansion (called by the engine on a -1 table entry) --------
+    def expand_hit(self, state: int, way: int) -> int:
+        """Expand and memoize the ``hit@way`` transition of ``state``."""
+        successor = self._policies[state].clone()
+        successor.touch(way)
+        next_state = self._intern(successor)
+        self.hit_next[state * self.ways + way] = next_state
+        return next_state
+
+    def expand_fill(self, state: int, way: int) -> int:
+        """Expand and memoize the cold ``fill@way`` transition of ``state``."""
+        successor = self._policies[state].clone()
+        successor.fill(way)
+        next_state = self._intern(successor)
+        self.fill_next[state * self.ways + way] = next_state
+        return next_state
+
+    def expand_miss(self, state: int) -> tuple[int, int]:
+        """Expand the full-set miss of ``state``: (victim way, next state).
+
+        Mirrors :meth:`repro.cache.set.CacheSet.fill` exactly: the victim
+        is chosen by ``evict`` (which may mutate state, e.g. RRIP aging)
+        and the incoming block is then filled into the victim way.
+        """
+        successor = self._policies[state].clone()
+        victim = successor.evict()
+        successor.fill(victim)
+        next_state = self._intern(successor)
+        self.miss_victim[state] = victim
+        self.miss_next[state] = next_state
+        return victim, next_state
+
+    # -- eager enumeration -------------------------------------------------
+    def expand_all(self) -> int:
+        """Classic eager BFS: close the automaton under every event.
+
+        Returns the total state count.  Raises
+        :class:`~repro.errors.KernelUnsupported` if the reachable space
+        exceeds the budget.
+        """
+        ways = self.ways
+        queue = deque(range(len(self._policies)))
+        visited = 0
+        while queue:
+            state = queue.popleft()
+            visited = max(visited, state)
+            frontier_before = len(self._policies)
+            for way in range(ways):
+                if self.hit_next[state * ways + way] < 0:
+                    self.expand_hit(state, way)
+                if self.fill_next[state * ways + way] < 0:
+                    self.expand_fill(state, way)
+            if self.miss_victim[state] < 0:
+                self.expand_miss(state)
+            queue.extend(range(frontier_before, len(self._policies)))
+        return len(self._policies)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompiledPolicy {type(self._policies[0]).__name__} "
+            f"ways={self.ways} states={self.num_states}>"
+        )
+
+
+def compile_policy(
+    policy_or_spec: ReplacementPolicy | PermutationSpec | str,
+    ways: int | None = None,
+    budget: int = DEFAULT_BUDGET,
+) -> CompiledPolicy:
+    """Compile a policy into its transition-table automaton.
+
+    Accepts a policy instance, a :class:`PermutationSpec` (``ways`` taken
+    from the spec), or a registry name (``ways`` required).  Raises
+    :class:`~repro.errors.KernelUnsupported` for randomized policies.
+    """
+    if isinstance(policy_or_spec, PermutationSpec):
+        prototype: ReplacementPolicy = PermutationPolicy(
+            policy_or_spec.ways, policy_or_spec
+        )
+    elif isinstance(policy_or_spec, str):
+        if ways is None:
+            raise KernelUnsupported(
+                f"compiling {policy_or_spec!r} by name requires ways="
+            )
+        from repro.policies import get
+
+        prototype = get(policy_or_spec, ways)
+    else:
+        prototype = policy_or_spec
+    if ways is not None and prototype.ways != ways:
+        raise KernelUnsupported(
+            f"policy is {prototype.ways}-way but ways={ways} was requested"
+        )
+    return CompiledPolicy(prototype, budget=budget)
+
+
+# -- compilation caches ------------------------------------------------------
+#: Per-instance cache: policy object -> its automaton.  Weak keys so
+#: caching a candidate pool does not pin the policies alive; identity
+#: semantics are what the identify/distinguish loops want (they reuse the
+#: same candidate instances across thousands of probes).
+_INSTANCE_CACHE: "weakref.WeakKeyDictionary[ReplacementPolicy, CompiledPolicy]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Unsupported-policy instances, so the KernelUnsupported probe runs once.
+_INSTANCE_UNSUPPORTED: "weakref.WeakSet[ReplacementPolicy]" = weakref.WeakSet()
+
+#: Per-name cache: (name, params, ways) -> automaton (or None when the
+#: named policy is not compilable), shared by every simulation cell of a
+#: grid so each process compiles a policy at most once.
+_FACTORY_CACHE: dict[tuple, CompiledPolicy | None] = {}
+
+
+def compiled_for(policy: ReplacementPolicy) -> CompiledPolicy | None:
+    """The (cached) automaton of a policy instance, or None if unsupported."""
+    cached = _INSTANCE_CACHE.get(policy)
+    if cached is not None:
+        return cached
+    if policy in _INSTANCE_UNSUPPORTED:
+        return None
+    try:
+        compiled = compile_policy(policy)
+    except KernelUnsupported:
+        _INSTANCE_UNSUPPORTED.add(policy)
+        return None
+    _INSTANCE_CACHE[policy] = compiled
+    return compiled
+
+
+def compiled_for_factory(
+    name: str, params: tuple, ways: int
+) -> CompiledPolicy | None:
+    """The (cached) automaton of a named policy, or None if unsupported.
+
+    ``params`` is the sorted item tuple a :class:`SimCell` carries; a
+    spec-parameterised permutation policy hashes through its frozen spec.
+    """
+    key = (name, params, ways)
+    if key in _FACTORY_CACHE:
+        return _FACTORY_CACHE[key]
+    factory = PolicyFactory(name, **dict(params))
+    compiled: CompiledPolicy | None
+    if not factory.deterministic:
+        compiled = None
+    else:
+        try:
+            compiled = compile_policy(
+                factory.build(ways, set_index=0, shared=factory.create_shared(1))
+            )
+        except KernelUnsupported:
+            compiled = None
+    _FACTORY_CACHE[key] = compiled
+    return compiled
+
+
+#: Per-spec cache for inference verification, which simulates the same
+#: freshly inferred spec against hundreds of probe prefixes.  None marks
+#: a spec whose reachable space blew the budget mid-run.
+_SPEC_CACHE: dict[PermutationSpec, CompiledPolicy | None] = {}
+
+
+def compiled_for_spec(spec: PermutationSpec) -> CompiledPolicy | None:
+    """The (cached) automaton of a permutation spec, or None if unsupported."""
+    if spec in _SPEC_CACHE:
+        return _SPEC_CACHE[spec]
+    compiled = compile_policy(spec)
+    _SPEC_CACHE[spec] = compiled
+    return compiled
+
+
+def mark_unsupported(policy: ReplacementPolicy) -> None:
+    """Record that a policy blew the budget mid-run; stop retrying it."""
+    _INSTANCE_CACHE.pop(policy, None)
+    _INSTANCE_UNSUPPORTED.add(policy)
+
+
+def mark_factory_unsupported(name: str, params: tuple, ways: int) -> None:
+    """Record that a named policy blew the budget mid-run."""
+    _FACTORY_CACHE[(name, params, ways)] = None
+
+
+def mark_spec_unsupported(spec: PermutationSpec) -> None:
+    """Record that a spec blew the budget mid-run."""
+    _SPEC_CACHE[spec] = None
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached automaton (test hygiene)."""
+    _INSTANCE_CACHE.clear()
+    _INSTANCE_UNSUPPORTED.clear()
+    _FACTORY_CACHE.clear()
+    _SPEC_CACHE.clear()

@@ -1,0 +1,403 @@
+"""Fast simulation loops over compiled policy automata.
+
+Two granularities, matching the two shapes of simulation in the library:
+
+* **single set, block ids** — the oracle/inference substrate.
+  :func:`count_misses_kernel`, :func:`count_misses_preloaded`,
+  :func:`sequence_hits` and :func:`simulate_sequence` replay block-id
+  sequences against one compiled set, reproducing exactly what
+  :class:`~repro.cache.set.CacheSet` driven through ``access()`` would
+  do (cold fills go to ascending ways, full-set misses evict the
+  policy's victim).
+
+* **whole cache, address traces** — the evaluation substrate.
+  :func:`simulate_trace_kernel` runs a trace against ``num_sets``
+  independent automaton instances sharing one transition table;
+  :func:`simulate_trace_direct` covers non-compilable (randomized /
+  set-dueling) policies with the real policy objects driven by an
+  inlined loop that skips the interpreter's per-access dataclass and
+  tracer overhead.  :func:`try_simulate_trace` picks the right one and
+  returns ``None`` when the kernel must stay off (disabled globally, or
+  an observability tracer is active).
+
+Bit-identity argument, in one place: per set the interpreter's state is
+(tag→way map, policy state).  The kernel mirrors the tag→way map
+directly and replaces the policy object with an automaton state id whose
+transitions were *computed by the policy's own methods* in the same
+order the interpreter calls them (hit → ``touch(way)``; cold miss →
+``fill(first invalid way)``; full miss → ``evict()`` then
+``fill(victim)``).  The fill-ascending invariant holds because these
+loops only ever access (never invalidate), so the number of valid lines
+*is* the first invalid way.  Statistics are counted by the same rules as
+:meth:`repro.cache.cache.Cache.access`; traces carry only reads, so
+dirty bits and writebacks cannot occur on the fast path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.cache.config import CacheConfig
+from repro.cache.set import SetAccessResult
+from repro.cache.stats import CacheStats
+from repro.errors import KernelUnsupported
+from repro.kernels import automaton
+from repro.kernels.automaton import CompiledPolicy, compiled_for_factory
+from repro.obs import trace as obs_trace
+from repro.policies import PolicyFactory
+from repro.util.rng import SeededRng
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "count_misses_kernel",
+    "count_misses_preloaded",
+    "sequence_hits",
+    "simulate_sequence",
+    "simulate_trace_direct",
+    "simulate_trace_kernel",
+    "try_simulate_trace",
+]
+
+
+# -- single-set runs ---------------------------------------------------------
+
+def _run_blocks(
+    compiled: CompiledPolicy,
+    blocks: Sequence[int],
+    way_of: dict[int, int],
+    tag_of: list[int],
+    state: int,
+    hits: list[bool] | None = None,
+) -> int:
+    """Advance one set over ``blocks``; return the final state id.
+
+    ``way_of``/``tag_of`` are mutated in place; ``hits`` (when given)
+    collects the per-access hit/miss outcome.
+    """
+    ways = compiled.ways
+    hit_next = compiled.hit_next
+    fill_next = compiled.fill_next
+    miss_victim = compiled.miss_victim
+    miss_next = compiled.miss_next
+    record = hits.append if hits is not None else None
+    for block in blocks:
+        way = way_of.get(block)
+        if way is not None:
+            nxt = hit_next[state * ways + way]
+            state = nxt if nxt >= 0 else compiled.expand_hit(state, way)
+            if record is not None:
+                record(True)
+            continue
+        filled = len(way_of)
+        if filled < ways:
+            way_of[block] = filled
+            tag_of[filled] = block
+            nxt = fill_next[state * ways + filled]
+            state = nxt if nxt >= 0 else compiled.expand_fill(state, filled)
+        else:
+            victim = miss_victim[state]
+            if victim >= 0:
+                nxt = miss_next[state]
+            else:
+                victim, nxt = compiled.expand_miss(state)
+            del way_of[tag_of[victim]]
+            tag_of[victim] = block
+            way_of[block] = victim
+            state = nxt
+        if record is not None:
+            record(False)
+    return state
+
+
+def count_misses_kernel(
+    compiled: CompiledPolicy, setup: Sequence[int], probe: Sequence[int]
+) -> int:
+    """Misses of ``probe`` after ``setup``, from a fresh empty set."""
+    way_of: dict[int, int] = {}
+    tag_of = [0] * compiled.ways
+    state = _run_blocks(compiled, setup, way_of, tag_of, 0)
+    hits: list[bool] = []
+    _run_blocks(compiled, probe, way_of, tag_of, state, hits)
+    return len(hits) - sum(hits)
+
+
+def count_misses_preloaded(
+    compiled: CompiledPolicy, tags: Sequence[int], probe: Sequence[int]
+) -> int:
+    """Misses of ``probe`` from a preloaded full set in the reset state.
+
+    ``tags[w]`` is the block resident in way ``w`` — the kernel analogue
+    of :meth:`repro.cache.set.CacheSet.preload` on a fresh set.
+    """
+    if len(tags) != compiled.ways:
+        raise KernelUnsupported(
+            f"preload needs {compiled.ways} tags, got {len(tags)}"
+        )
+    way_of = {tag: way for way, tag in enumerate(tags)}
+    tag_of = list(tags)
+    hits: list[bool] = []
+    _run_blocks(compiled, probe, way_of, tag_of, 0, hits)
+    return len(hits) - sum(hits)
+
+
+def sequence_hits(
+    compiled: CompiledPolicy, setup: Sequence[int], probe: Sequence[int]
+) -> tuple[bool, ...]:
+    """Per-access hit/miss outcome of ``probe`` after ``setup``."""
+    way_of: dict[int, int] = {}
+    tag_of = [0] * compiled.ways
+    state = _run_blocks(compiled, setup, way_of, tag_of, 0)
+    hits: list[bool] = []
+    _run_blocks(compiled, probe, way_of, tag_of, state, hits)
+    return tuple(hits)
+
+
+def simulate_sequence(
+    compiled: CompiledPolicy, blocks: Sequence[int]
+) -> list[SetAccessResult]:
+    """Replay a block-id sequence from a fresh set; full per-access detail.
+
+    Returns the same :class:`~repro.cache.set.SetAccessResult` values an
+    interpreted :class:`~repro.cache.set.CacheSet` produces, eviction
+    order included — the equivalence the property suite asserts.
+    """
+    ways = compiled.ways
+    way_of: dict[int, int] = {}
+    tag_of = [0] * ways
+    state = 0
+    results: list[SetAccessResult] = []
+    for block in blocks:
+        way = way_of.get(block)
+        if way is not None:
+            nxt = compiled.hit_next[state * ways + way]
+            state = nxt if nxt >= 0 else compiled.expand_hit(state, way)
+            results.append(SetAccessResult(hit=True, way=way, evicted_tag=None))
+            continue
+        filled = len(way_of)
+        if filled < ways:
+            way_of[block] = filled
+            tag_of[filled] = block
+            nxt = compiled.fill_next[state * ways + filled]
+            state = nxt if nxt >= 0 else compiled.expand_fill(state, filled)
+            results.append(SetAccessResult(hit=False, way=filled, evicted_tag=None))
+        else:
+            victim = compiled.miss_victim[state]
+            if victim >= 0:
+                nxt = compiled.miss_next[state]
+            else:
+                victim, nxt = compiled.expand_miss(state)
+            evicted = tag_of[victim]
+            del way_of[evicted]
+            tag_of[victim] = block
+            way_of[block] = victim
+            state = nxt
+            results.append(SetAccessResult(hit=False, way=victim, evicted_tag=evicted))
+    return results
+
+
+# -- whole-cache trace runs --------------------------------------------------
+
+def _decompose_params(config: CacheConfig) -> tuple[int, int, bool, int]:
+    return (
+        config.offset_bits,
+        config.index_bits,
+        config.index_hash != "bits",
+        config.num_sets - 1,
+    )
+
+
+def simulate_trace_kernel(
+    trace: Trace,
+    config: CacheConfig,
+    policy: "str | PolicyFactory",
+    seed: int = 0,
+) -> CacheStats:
+    """Compiled whole-cache run of a read trace; bit-identical statistics.
+
+    ``seed`` is accepted for signature parity but unused: a compilable
+    policy is deterministic and never draws from the cache rng.  Raises
+    :class:`~repro.errors.KernelUnsupported` for non-compilable policies
+    (use :func:`simulate_trace_direct`) or on a mid-run budget blow.
+    """
+    factory = policy if isinstance(policy, PolicyFactory) else PolicyFactory(policy)
+    params = tuple(sorted(factory.params.items()))
+    compiled = compiled_for_factory(factory.name, params, config.ways)
+    if compiled is None:
+        raise KernelUnsupported(
+            f"policy {factory.name!r} has no compiled automaton at "
+            f"{config.ways} ways"
+        )
+    try:
+        return _simulate_trace_compiled(trace, config, compiled)
+    except KernelUnsupported:
+        automaton.mark_factory_unsupported(factory.name, params, config.ways)
+        raise
+
+
+def _simulate_trace_compiled(
+    trace: Trace, config: CacheConfig, compiled: CompiledPolicy
+) -> CacheStats:
+    offset_bits, index_bits, hashed, set_mask = _decompose_params(config)
+    num_sets = config.num_sets
+    ways = config.ways
+    tag_shift = offset_bits + index_bits
+    states = [0] * num_sets
+    way_ofs: list[dict[int, int]] = [{} for _ in range(num_sets)]
+    tag_ofs: list[list[int]] = [[0] * ways for _ in range(num_sets)]
+    hit_next = compiled.hit_next
+    fill_next = compiled.fill_next
+    miss_victim = compiled.miss_victim
+    miss_next = compiled.miss_next
+    expand_hit = compiled.expand_hit
+    expand_fill = compiled.expand_fill
+    expand_miss = compiled.expand_miss
+    hits = misses = evictions = 0
+    addresses = trace.addresses
+    for address in addresses:
+        if hashed:
+            tag = address >> offset_bits
+            set_index = 0
+            if index_bits:
+                remaining = tag
+                while remaining:
+                    set_index ^= remaining & set_mask
+                    remaining >>= index_bits
+        else:
+            set_index = (address >> offset_bits) & set_mask
+            tag = address >> tag_shift
+        way_of = way_ofs[set_index]
+        state = states[set_index]
+        way = way_of.get(tag)
+        if way is not None:
+            hits += 1
+            nxt = hit_next[state * ways + way]
+            states[set_index] = nxt if nxt >= 0 else expand_hit(state, way)
+            continue
+        misses += 1
+        tag_of = tag_ofs[set_index]
+        filled = len(way_of)
+        if filled < ways:
+            way_of[tag] = filled
+            tag_of[filled] = tag
+            nxt = fill_next[state * ways + filled]
+            states[set_index] = nxt if nxt >= 0 else expand_fill(state, filled)
+        else:
+            evictions += 1
+            victim = miss_victim[state]
+            if victim >= 0:
+                nxt = miss_next[state]
+            else:
+                victim, nxt = expand_miss(state)
+            del way_of[tag_of[victim]]
+            tag_of[victim] = tag
+            way_of[tag] = victim
+            states[set_index] = nxt
+    return CacheStats(
+        accesses=len(addresses),
+        hits=hits,
+        misses=misses,
+        evictions=evictions,
+        fills=misses,
+    )
+
+
+def simulate_trace_direct(
+    trace: Trace,
+    config: CacheConfig,
+    policy: "str | PolicyFactory",
+    seed: int = 0,
+) -> CacheStats:
+    """Inlined whole-cache run with real policy objects (direct mode).
+
+    Covers policies the automaton cannot (randomized, set-dueling): the
+    policies, their shared context and the rng are constructed exactly
+    as :class:`~repro.cache.cache.Cache` constructs them, and driven in
+    the same call order, so every rng draw and shared-state update lands
+    identically — only the interpreter's per-access object overhead is
+    gone.
+    """
+    factory = policy if isinstance(policy, PolicyFactory) else PolicyFactory(policy)
+    offset_bits, index_bits, hashed, set_mask = _decompose_params(config)
+    num_sets = config.num_sets
+    ways = config.ways
+    tag_shift = offset_bits + index_bits
+    rng = SeededRng(seed)
+    shared = factory.create_shared(num_sets, rng.fork("shared"))
+    policies = [
+        factory.build(ways, set_index, shared, rng) for set_index in range(num_sets)
+    ]
+    way_ofs: list[dict[int, int]] = [{} for _ in range(num_sets)]
+    tag_ofs: list[list[int]] = [[0] * ways for _ in range(num_sets)]
+    hits = misses = evictions = 0
+    addresses = trace.addresses
+    for address in addresses:
+        if hashed:
+            tag = address >> offset_bits
+            set_index = 0
+            if index_bits:
+                remaining = tag
+                while remaining:
+                    set_index ^= remaining & set_mask
+                    remaining >>= index_bits
+        else:
+            set_index = (address >> offset_bits) & set_mask
+            tag = address >> tag_shift
+        way_of = way_ofs[set_index]
+        way = way_of.get(tag)
+        set_policy = policies[set_index]
+        if way is not None:
+            hits += 1
+            set_policy.touch(way)
+            continue
+        misses += 1
+        tag_of = tag_ofs[set_index]
+        filled = len(way_of)
+        if filled < ways:
+            way_of[tag] = filled
+            tag_of[filled] = tag
+            set_policy.fill(filled)
+        else:
+            evictions += 1
+            victim = set_policy.evict()
+            del way_of[tag_of[victim]]
+            tag_of[victim] = tag
+            way_of[tag] = victim
+            set_policy.fill(victim)
+    return CacheStats(
+        accesses=len(addresses),
+        hits=hits,
+        misses=misses,
+        evictions=evictions,
+        fills=misses,
+    )
+
+
+def try_simulate_trace(
+    trace: Trace,
+    config: CacheConfig,
+    policy: "str | PolicyFactory",
+    seed: int = 0,
+) -> CacheStats | None:
+    """Fast-path a whole-trace simulation if the kernel may run.
+
+    Returns ``None`` when the caller must use the interpreter: the
+    kernel is globally disabled, or an observability tracer is active
+    (the interpreter is the instrumented path; see OBSERVABILITY.md).
+    Otherwise returns statistics bit-identical to the interpreter's,
+    choosing the compiled automaton when the policy supports it and
+    direct mode when it does not.
+    """
+    from repro.kernels import kernel_enabled
+
+    if not kernel_enabled() or obs_trace.ACTIVE is not None:
+        return None
+    factory = policy if isinstance(policy, PolicyFactory) else PolicyFactory(policy)
+    params = tuple(sorted(factory.params.items()))
+    compiled = compiled_for_factory(factory.name, params, config.ways)
+    if compiled is not None:
+        try:
+            return _simulate_trace_compiled(trace, config, compiled)
+        except KernelUnsupported:
+            # Budget blown mid-run: remember, and re-run in direct mode.
+            automaton.mark_factory_unsupported(factory.name, params, config.ways)
+    return simulate_trace_direct(trace, config, factory, seed)

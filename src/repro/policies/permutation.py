@@ -168,38 +168,57 @@ class PermutationPolicy(ReplacementPolicy):
 
     NAME = "permutation"
 
+    # State is kept twice: ``_order[p]`` is the way in position ``p`` and
+    # ``_position[w]`` is the position of way ``w``.  The inverse map
+    # turns the ``list.index`` scan that used to start every touch/fill
+    # into one list lookup; both maps are rebuilt in the single pass that
+    # applies a permutation, so the invariant costs nothing extra.
+
     def __init__(self, ways: int, spec: PermutationSpec) -> None:
         super().__init__(ways)
         if spec.ways != ways:
             raise ConfigurationError(f"spec is for {spec.ways} ways, policy has {ways}")
         self.spec = spec
         self._order = list(range(ways))
+        self._position = list(range(ways))
 
     def position_of(self, way: int) -> int:
         """Return the current position of ``way`` (0 = most protected side)."""
-        return self._order.index(way)
+        self._check_way(way)
+        return self._position[way]
+
+    def _permute(self, perm: Sequence[int]) -> None:
+        """Apply ``perm`` to the order, updating both maps in one pass."""
+        new_order = [0] * self.ways
+        position = self._position
+        for old_position, way in enumerate(self._order):
+            new_position = perm[old_position]
+            new_order[new_position] = way
+            position[way] = new_position
+        self._order = new_order
 
     def touch(self, way: int) -> None:
         self._check_way(way)
-        position = self._order.index(way)
-        self._order = apply_permutation(self._order, self.spec.hit_perms[position])
+        self._permute(self.spec.hit_perms[self._position[way]])
 
     def evict(self) -> int:
         return self._order[self.spec.eviction_position]
 
     def fill(self, way: int) -> None:
         self._check_way(way)
-        position = self._order.index(way)
+        position = self._position[way]
         evict_pos = self.spec.eviction_position
         if position != evict_pos:
-            self._order[position], self._order[evict_pos] = (
-                self._order[evict_pos],
-                self._order[position],
-            )
-        self._order = apply_permutation(self._order, self.spec.miss_perm)
+            order = self._order
+            other = order[evict_pos]
+            order[position], order[evict_pos] = other, way
+            self._position[way] = evict_pos
+            self._position[other] = position
+        self._permute(self.spec.miss_perm)
 
     def reset(self) -> None:
         self._order = list(range(self.ways))
+        self._position = list(range(self.ways))
 
     def state_key(self) -> Hashable:
         return tuple(self._order)
@@ -207,6 +226,7 @@ class PermutationPolicy(ReplacementPolicy):
     def clone(self) -> "PermutationPolicy":
         copy = PermutationPolicy(self.ways, self.spec)
         copy._order = list(self._order)
+        copy._position = list(self._position)
         return copy
 
 

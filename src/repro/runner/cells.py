@@ -22,6 +22,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.cache import Cache, CacheConfig, CacheStats
+from repro.kernels import try_simulate_trace
 from repro.policies import PolicyFactory
 from repro.util.rng import SeededRng, derive_seed
 from repro.workloads.trace import Trace
@@ -119,15 +120,21 @@ class CellResult:
 
 
 def simulate_cell(cell: SimCell) -> CellResult:
-    """Run one cell in the current process (worker entry point)."""
+    """Run one cell in the current process (worker entry point).
+
+    Fast-pathed through the compiled kernel when it is enabled and no
+    tracer is active (worker processes inherit both switches via fork);
+    the interpreted loop below is the bit-identical reference.
+    """
     factory = PolicyFactory(cell.policy, **dict(cell.params))
-    cache = Cache(cell.config, factory, rng=SeededRng(cell.seed))
-    access = cache.access
-    for address in cell.trace.addresses:
-        access(address)
-    return CellResult(
-        policy=cell.policy, trace=cell.trace.name, stats=cache.stats.snapshot()
-    )
+    stats = try_simulate_trace(cell.trace, cell.config, factory, cell.seed)
+    if stats is None:
+        cache = Cache(cell.config, factory, rng=SeededRng(cell.seed))
+        access = cache.access
+        for address in cell.trace.addresses:
+            access(address)
+        stats = cache.stats.snapshot()
+    return CellResult(policy=cell.policy, trace=cell.trace.name, stats=stats)
 
 
 #: Process-wide memoization cache: memo_key -> CellResult.

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import SimulatedSetOracle, VotingOracle
+from repro.core import CachingOracle, SimulatedSetOracle, VotingOracle
 from repro.errors import MeasurementError
 from repro.policies import LruPolicy
 
@@ -60,17 +60,97 @@ class TestVotingOracle:
         with pytest.raises(MeasurementError):
             VotingOracle(SimulatedSetOracle(LruPolicy(2)), repetitions=0)
 
-    def test_cost_counts_every_repetition(self):
+    def test_majority_short_circuits_at_strict_majority(self):
+        # A noiseless oracle reaches floor(3/2)+1 = 2 identical votes
+        # after two repetitions; the third cannot change the outcome and
+        # is skipped.
         inner = SimulatedSetOracle(LruPolicy(2))
         voting = VotingOracle(inner, repetitions=3)
         voting.count_misses([], [1])
-        assert voting.measurements == 3
+        assert voting.measurements == 2
         voting.reset_cost()
         assert voting.measurements == 0
+
+    def test_min_counts_every_repetition(self):
+        # Only majority can stop early; min/median need every sample.
+        inner = SimulatedSetOracle(LruPolicy(2))
+        voting = VotingOracle(inner, repetitions=3, aggregate="min")
+        voting.count_misses([], [1])
+        assert voting.measurements == 3
+
+    def test_majority_short_circuit_preserves_result(self):
+        # The short-circuited vote equals the full vote on a noisy inner
+        # oracle: once a count holds a strict majority the remaining
+        # repetitions are arithmetically irrelevant.
+        for reps in (3, 5, 7):
+            flaky = _FlakyOracle(LruPolicy(2))
+            voting = VotingOracle(flaky, repetitions=reps)
+            assert voting.count_misses([], [1, 2, 1]) == 2
 
     def test_forwards_ways(self):
         voting = VotingOracle(SimulatedSetOracle(LruPolicy(8)))
         assert voting.ways == 8
+
+
+class TestCachingOracle:
+    def test_repeats_served_from_cache(self):
+        inner = SimulatedSetOracle(LruPolicy(2))
+        oracle = CachingOracle(inner)
+        assert oracle.count_misses([], [1, 2, 1]) == 2
+        assert oracle.count_misses([], [1, 2, 1]) == 2
+        # The second call never reached the inner oracle.
+        assert inner.measurements == 1
+        assert oracle.cache_hits == 1
+        assert oracle.cache_misses == 1
+
+    def test_distinct_queries_all_measured(self):
+        oracle = CachingOracle(SimulatedSetOracle(LruPolicy(2)))
+        oracle.count_misses([], [1])
+        oracle.count_misses([1], [1])
+        oracle.count_misses([], [2])
+        assert oracle.cache_hits == 0
+        assert oracle.cache_misses == 3
+
+    def test_count_misses_many_dedupes_within_batch(self):
+        oracle = CachingOracle(SimulatedSetOracle(LruPolicy(2)))
+        results = oracle.count_misses_many(
+            [([], [1, 2, 1]), ([], [1, 2, 1]), ([1, 2], [3])]
+        )
+        assert results == [2, 2, 1]
+        assert oracle.measurements == 2
+
+    def test_clear_cache(self):
+        oracle = CachingOracle(SimulatedSetOracle(LruPolicy(2)))
+        oracle.count_misses([], [1])
+        oracle.clear_cache()
+        assert oracle.cache_hits == 0 and oracle.cache_misses == 0
+        oracle.count_misses([], [1])
+        assert oracle.measurements == 2  # re-measured after the clear
+
+    def test_cost_accounting_delegates(self):
+        oracle = CachingOracle(SimulatedSetOracle(LruPolicy(2)))
+        oracle.count_misses([1], [2, 3])
+        assert oracle.measurements == 1
+        assert oracle.accesses == 3
+        oracle.count_misses([1], [2, 3])  # cached: cost must not move
+        assert oracle.measurements == 1
+        assert oracle.accesses == 3
+        oracle.reset_cost()
+        assert oracle.measurements == 0
+        assert oracle.accesses == 0
+
+    def test_forwards_ways(self):
+        assert CachingOracle(SimulatedSetOracle(LruPolicy(8))).ways == 8
+
+    def test_voting_inside_cache_memoizes_denoised_values(self):
+        # The documented composition for noisy oracles: denoise first,
+        # memoize the stable value.
+        flaky = _FlakyOracle(LruPolicy(2))
+        oracle = CachingOracle(VotingOracle(flaky, repetitions=5))
+        first = oracle.count_misses([], [1, 2, 1])
+        assert first == 2
+        assert oracle.count_misses([], [1, 2, 1]) == first
+        assert oracle.cache_hits == 1
 
 
 class _AdditiveNoiseOracle(SimulatedSetOracle):

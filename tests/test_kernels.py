@@ -1,0 +1,247 @@
+"""Unit tests for the compiled policy-automaton kernel (repro.kernels)."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.set import CacheSet
+from repro.core import SimulatedSetOracle
+from repro.errors import KernelUnsupported
+from repro.kernels import (
+    DEFAULT_BUDGET,
+    clear_compile_cache,
+    compile_policy,
+    compiled_for,
+    compiled_for_factory,
+    compiled_for_spec,
+    count_misses_kernel,
+    count_misses_preloaded,
+    kernel_disabled,
+    kernel_enabled,
+    mark_factory_unsupported,
+    mark_spec_unsupported,
+    mark_unsupported,
+    sequence_hits,
+    set_kernel_enabled,
+    simulate_sequence,
+    try_simulate_trace,
+)
+from repro.obs import tracing
+from repro.policies import LruPolicy, RandomPolicy, lru_spec, make_policy
+from repro.util.rng import SeededRng
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Compilation caches are process-global; isolate every test."""
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestCompilePolicy:
+    def test_compile_from_instance(self):
+        compiled = compile_policy(LruPolicy(4))
+        assert compiled.ways == 4
+        assert compiled.num_states == 1  # lazy: only the reset state so far
+
+    def test_compile_from_name(self):
+        assert compile_policy("fifo", 4).ways == 4
+
+    def test_compile_from_name_needs_ways(self):
+        with pytest.raises(KernelUnsupported):
+            compile_policy("lru")
+
+    def test_compile_from_spec(self):
+        compiled = compile_policy(lru_spec(4))
+        assert compiled.ways == 4
+
+    def test_ways_mismatch_rejected(self):
+        with pytest.raises(KernelUnsupported):
+            compile_policy(LruPolicy(4), ways=8)
+
+    def test_randomized_policy_unsupported(self):
+        with pytest.raises(KernelUnsupported):
+            compile_policy(RandomPolicy(4))
+        with pytest.raises(KernelUnsupported):
+            compile_policy("dip", 4)
+
+    def test_expand_all_closes_the_automaton(self):
+        # Small closed-form state spaces: LRU reaches every permutation
+        # of its recency stack, tree PLRU every setting of ways-1 bits.
+        assert compile_policy("lru", 3).expand_all() == 6
+        assert compile_policy("plru", 4).expand_all() == 8
+        compiled = compile_policy("fifo", 3)
+        total = compiled.expand_all()
+        assert total == compiled.num_states
+        assert all(entry >= 0 for entry in compiled.hit_next)
+        assert all(entry >= 0 for entry in compiled.fill_next)
+        assert all(entry >= 0 for entry in compiled.miss_victim)
+        assert all(entry >= 0 for entry in compiled.miss_next)
+
+    def test_budget_exceeded_raises(self):
+        compiled = compile_policy(LruPolicy(4), budget=3)
+        with pytest.raises(KernelUnsupported):
+            compiled.expand_all()
+
+    def test_default_budget_bounds_lazy_growth(self):
+        compiled = compile_policy(LruPolicy(4))
+        assert compiled.budget == DEFAULT_BUDGET
+
+
+class TestCompileCaches:
+    def test_instance_cache_returns_same_automaton(self):
+        policy = LruPolicy(4)
+        first = compiled_for(policy)
+        assert first is not None
+        assert compiled_for(policy) is first
+
+    def test_instance_cache_none_for_randomized(self):
+        policy = RandomPolicy(4)
+        assert compiled_for(policy) is None
+        # The failed probe is remembered, not retried.
+        assert compiled_for(policy) is None
+
+    def test_mark_unsupported_stops_retries(self):
+        policy = LruPolicy(4)
+        assert compiled_for(policy) is not None
+        mark_unsupported(policy)
+        assert compiled_for(policy) is None
+
+    def test_factory_cache(self):
+        first = compiled_for_factory("plru", (), 8)
+        assert first is not None
+        assert compiled_for_factory("plru", (), 8) is first
+        assert compiled_for_factory("random", (), 8) is None
+        mark_factory_unsupported("plru", (), 8)
+        assert compiled_for_factory("plru", (), 8) is None
+
+    def test_spec_cache(self):
+        spec = lru_spec(4)
+        first = compiled_for_spec(spec)
+        assert first is not None
+        assert compiled_for_spec(spec) is first
+        mark_spec_unsupported(spec)
+        assert compiled_for_spec(spec) is None
+
+    def test_clear_compile_cache(self):
+        policy = LruPolicy(4)
+        first = compiled_for(policy)
+        clear_compile_cache()
+        assert compiled_for(policy) is not first
+
+
+class TestSingleSetEngine:
+    def test_count_misses_matches_oracle(self):
+        compiled = compile_policy(LruPolicy(2))
+        with kernel_disabled():
+            oracle = SimulatedSetOracle(LruPolicy(2))
+            assert count_misses_kernel(compiled, [], [1, 2, 1]) == oracle.count_misses(
+                [], [1, 2, 1]
+            )
+            assert count_misses_kernel(compiled, [1, 2], [3, 1]) == oracle.count_misses(
+                [1, 2], [3, 1]
+            )
+
+    def test_sequence_hits_detail(self):
+        compiled = compile_policy(LruPolicy(2))
+        assert sequence_hits(compiled, [], [1, 2, 1, 3, 2]) == (
+            False,
+            False,
+            True,
+            False,
+            False,
+        )
+
+    def test_simulate_sequence_matches_cache_set(self):
+        blocks = [1, 2, 3, 1, 4, 2, 1, 5, 3]
+        compiled = compile_policy("plru", 4)
+        cache_set = CacheSet(4, make_policy("plru", 4))
+        assert simulate_sequence(compiled, blocks) == [
+            cache_set.access(block) for block in blocks
+        ]
+
+    def test_preloaded_matches_preloaded_set(self):
+        tags = [10, 11, 12, 13]
+        probe = [14, 10, 15, 11, 12]
+        compiled = compile_policy("srrip", 4)
+        cache_set = CacheSet(4, make_policy("srrip", 4))
+        cache_set.preload(tags)
+        expected = sum(1 for block in probe if not cache_set.access(block).hit)
+        assert count_misses_preloaded(compiled, tags, probe) == expected
+
+    def test_preloaded_validates_length(self):
+        compiled = compile_policy(LruPolicy(4))
+        with pytest.raises(KernelUnsupported):
+            count_misses_preloaded(compiled, [1, 2], [3])
+
+
+class TestRouting:
+    CONFIG = CacheConfig("tiny", 2 * 1024, 4)  # 8 sets
+
+    def _trace(self):
+        return Trace("t", tuple((i % 96) * 64 for i in range(300)))
+
+    def test_enable_disable_switch(self):
+        assert kernel_enabled()
+        set_kernel_enabled(False)
+        try:
+            assert not kernel_enabled()
+        finally:
+            set_kernel_enabled(True)
+        with kernel_disabled():
+            assert not kernel_enabled()
+        assert kernel_enabled()
+
+    def test_try_simulate_trace_respects_disable(self):
+        with kernel_disabled():
+            assert try_simulate_trace(self._trace(), self.CONFIG, "lru") is None
+
+    def test_try_simulate_trace_respects_active_tracer(self):
+        with tracing():
+            assert try_simulate_trace(self._trace(), self.CONFIG, "lru") is None
+
+    def test_try_simulate_trace_matches_interpreter(self):
+        trace = self._trace()
+        stats = try_simulate_trace(trace, self.CONFIG, "lru")
+        assert stats is not None
+        cache = Cache(self.CONFIG, "lru")
+        for address in trace:
+            cache.access(address)
+        assert stats == cache.stats
+
+    def test_try_simulate_trace_direct_mode_for_randomized(self):
+        # Randomized policies cannot compile, but direct mode still
+        # fast-paths them — bit-identically, rng draws included.
+        trace = self._trace()
+        stats = try_simulate_trace(trace, self.CONFIG, "random", seed=3)
+        assert stats is not None
+        cache = Cache(self.CONFIG, "random", rng=SeededRng(3))
+        for address in trace:
+            cache.access(address)
+        assert stats == cache.stats
+
+    def test_oracle_routing_is_transparent(self):
+        setup = list(range(4))
+        probe = [5, 0, 6, 1, 2, 7]
+        fast = SimulatedSetOracle(make_policy("plru", 4))
+        fast_count = fast.count_misses(setup, probe)
+        with kernel_disabled():
+            slow = SimulatedSetOracle(make_policy("plru", 4))
+            assert slow.count_misses(setup, probe) == fast_count
+        # Cost metrics are identical in both paths.
+        assert fast.measurements == 1
+        assert fast.accesses == len(setup) + len(probe)
+
+
+class TestCliFlag:
+    def test_kernel_flags_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["evaluate", "--policies", "lru"]).kernel is True
+        args = parser.parse_args(["evaluate", "--policies", "lru", "--no-kernel"])
+        assert args.kernel is False
+        infer = ["infer", "--processor", "ivybridge-like"]
+        assert parser.parse_args(infer + ["--kernel"]).kernel is True
+        assert parser.parse_args(infer + ["--no-kernel"]).kernel is False
