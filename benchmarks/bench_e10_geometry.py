@@ -12,6 +12,7 @@ from repro.core.geometry import GeometryInference, PlatformAddressOracle
 from repro.hardware import PROCESSORS, HardwarePlatform, get_processor
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 
 def _geometry_cell(name: str) -> list[object]:
@@ -34,6 +35,7 @@ def _geometry_cell(name: str) -> list[object]:
     ]
 
 
+@traced("e10.geometry")
 def measure_all(jobs: int = 0):
     names = sorted(PROCESSORS)
     runner = ExperimentRunner(jobs=jobs)

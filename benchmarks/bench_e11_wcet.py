@@ -16,6 +16,7 @@ from repro.cache import Cache, CacheConfig
 from repro.policies import make_policy
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 CONFIG = CacheConfig("L1", 1024, 4)  # 4 sets, 4-way
 POLICIES = ["lru", "plru", "slru", "bitplru", "nru", "fifo"]
@@ -60,6 +61,7 @@ def _policy_cell(name: str):
     return row, result.guaranteed_hit_fraction
 
 
+@traced("e11.wcet")
 def compute_rows(jobs: int = 0):
     runner = ExperimentRunner(jobs=jobs)
     cells = runner.map(_policy_cell, POLICIES, labels=list(POLICIES))

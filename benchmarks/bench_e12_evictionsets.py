@@ -15,6 +15,7 @@ from repro.core.evictionsets import PlatformEvictionTester, find_eviction_set
 from repro.hardware import HardwarePlatform, LevelSpec, ProcessorSpec
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 CASES = [
     (8 * 1024, 4),
@@ -55,6 +56,7 @@ def discover(task: tuple[int, int]):
     }
 
 
+@traced("e12.evictionsets")
 def run_all(jobs: int = 0):
     runner = ExperimentRunner(jobs=jobs)
     return runner.map(

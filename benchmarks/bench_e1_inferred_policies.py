@@ -17,6 +17,7 @@ from repro import (
 )
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 #: Trimmed verification keeps the 16-way L3 runs tractable; the method
 #: is unchanged.
@@ -54,6 +55,7 @@ def _infer_cell(task: tuple[str, str]) -> list[object]:
     ]
 
 
+@traced("e1.infer")
 def infer_all(jobs: int = 0) -> list[list[object]]:
     cells = [
         (name, level_spec.config.name)

@@ -13,6 +13,7 @@ from repro.core import InferenceConfig, PermutationInference, SimulatedSetOracle
 from repro.policies import make_policy
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 WAYS = [2, 4, 8, 16]
 POLICIES = ["lru", "fifo", "plru"]
@@ -29,6 +30,7 @@ def _cost_cell(task: tuple[str, int]) -> list[object]:
     return [policy_name, ways, result.measurements, result.accesses]
 
 
+@traced("e2.costs")
 def measure_costs(jobs: int = 0) -> list[list[object]]:
     cells = [(policy, ways) for ways in WAYS for policy in POLICIES]
     runner = ExperimentRunner(jobs=jobs)

@@ -24,11 +24,13 @@ from repro.kernels import kernel_disabled
 from repro.runner import clear_memo
 from repro.util.tables import format_table
 from repro.workloads import workload_suite
+from repro.obs.spans import traced
 
 POLICIES = ["lru", "fifo", "plru", "bitplru", "nru", "srrip", "lip", "dip", "random"]
 CONFIG = CacheConfig("L2", 64 * 1024, 8)  # 1024 lines
 
 
+@traced("e3.grid")
 def compute_matrix(jobs: int = 0, memoize: bool = True):
     traces = workload_suite(cache_lines=CONFIG.num_sets * CONFIG.ways, seed=0)
     return miss_ratio_matrix(traces, CONFIG, POLICIES, seed=0, jobs=jobs,

@@ -11,12 +11,14 @@ import pytest
 from repro.eval import cache_size_sweep
 from repro.util.tables import format_table
 from repro.workloads import cyclic_loop
+from repro.obs.spans import traced
 
 POLICIES = ["lru", "fifo", "plru", "lip", "dip", "srrip"]
 SIZES = [8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
 TRACE = cyclic_loop(640, iterations=12)  # 40 KiB footprint
 
 
+@traced("e4.sweep")
 def compute_sweep(jobs: int = 0):
     return cache_size_sweep(TRACE, SIZES, POLICIES, ways=8, jobs=jobs)
 

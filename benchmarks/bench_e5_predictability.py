@@ -15,6 +15,7 @@ from repro.eval import predictability_of_policy
 from repro.policies import make_policy
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 POLICIES = ["lru", "fifo", "plru", "bitplru", "nru", "srrip", "qlru_h00_m1", "random"]
 WAYS = [2, 4, 8]
@@ -26,6 +27,7 @@ def _metric_cell(task: tuple[str, int]):
     return predictability_of_policy(name, make_policy(name, ways))
 
 
+@traced("e5.metrics")
 def compute_metrics(jobs: int = 0):
     cells = [(name, ways) for ways in WAYS for name in POLICIES]
     runner = ExperimentRunner(jobs=jobs)

@@ -21,6 +21,7 @@ from repro.hardware import (
 )
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 RATES = [0.0, 0.002, 0.005, 0.01, 0.02, 0.05]
 SEEDS = [1, 2, 3]
@@ -47,6 +48,7 @@ def attempt(task: tuple[float, int, int]) -> bool:
     return finding.policy_name == "plru"
 
 
+@traced("e6.sweep")
 def run_sweep(jobs: int = 0):
     cells = [
         (rate, repetitions, seed)

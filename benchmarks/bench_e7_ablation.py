@@ -22,6 +22,7 @@ from repro.core import (
 from repro.policies import make_policy
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 
 def _strategy_cell(task: tuple[int, str]) -> list[object]:
@@ -46,6 +47,7 @@ def _strategy_cell(task: tuple[int, str]) -> list[object]:
     return [ways, strategy, result.measurements, result.accesses, oracle.cache_hits]
 
 
+@traced("e7.strategies")
 def strategy_rows(jobs: int = 0):
     cells = [(ways, strategy) for ways in (4, 8, 16)
              for strategy in ("linear", "binary")]
@@ -94,6 +96,7 @@ def _thrash_cell(factor: int) -> list[object]:
     ]
 
 
+@traced("e7.thrash")
 def thrash_rows(jobs: int = 0):
     factors = (0, 1, 2)
     runner = ExperimentRunner(jobs=jobs)

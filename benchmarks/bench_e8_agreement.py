@@ -15,10 +15,12 @@ from repro.eval import agreement_matrix
 from repro.policies import make_policy
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 POLICIES = ["lru", "fifo", "plru", "bitplru", "nru", "srrip"]
 
 
+@traced("e8.agreement")
 def compute_agreement(jobs: int = 0):
     policies = {name: make_policy(name, 8) for name in POLICIES}
     return agreement_matrix(policies, accesses=30_000, seed=0, jobs=jobs)
@@ -60,6 +62,7 @@ def _distinguisher_cell(task: tuple[str, str]) -> list[object]:
     return [first, second, len(probe) if probe else "> 10", probe or ""]
 
 
+@traced("e8.distinguishers")
 def shortest_distinguishers(jobs: int = 0):
     pairs = [
         (first, second)

@@ -15,6 +15,7 @@ from repro.hardware import HardwarePlatform, HardwareSetOracle, get_processor
 from repro.policies.dueling import DuelController
 from repro.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.obs.spans import traced
 
 #: (processor, level, sampled set indices are chosen below)
 TARGETS = [
@@ -57,6 +58,7 @@ def _survey_cell(task: tuple[str, str]):
     return rows, report
 
 
+@traced("e9.survey")
 def survey_all(jobs: int = 0):
     runner = ExperimentRunner(jobs=jobs)
     surveyed = runner.map(

@@ -8,11 +8,15 @@ Subcommands mirror the library's two halves:
 * ``bench`` — the same grid as a timed throughput benchmark (``--jobs``);
 * ``predictability`` — evict/fill metrics table;
 * ``query`` — run one CacheQuery-notation access sequence;
-* ``trace`` — replay/filter a JSONL trace file written by ``--trace``.
+* ``trace`` — replay/filter a JSONL trace file written by ``--trace``;
+* ``report`` — summarize or diff ``*.ledger.json`` run manifests.
 
 The measurement-driving subcommands accept ``--trace FILE`` (stream
 structured events to a JSONL file) and ``--metrics FILE`` (write an
-ExperimentResult metrics sidecar); see OBSERVABILITY.md.
+ExperimentResult metrics sidecar plus a ``*.ledger.json`` run manifest
+next to it); see OBSERVABILITY.md.  ``--metrics`` composes with the
+compiled kernel — only ``--trace`` (which wants per-access events)
+routes simulation through the interpreter.
 """
 
 from __future__ import annotations
@@ -48,6 +52,8 @@ from repro.obs import (
     read_jsonl,
     uninstall,
 )
+from repro.obs import ledger as obs_ledger
+from repro.obs import spans as obs_spans
 from repro.policies import available, default_policies, get
 from repro.runner import ExperimentRunner, clear_memo
 from repro.util.tables import format_table
@@ -220,6 +226,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Summarize or diff run ledgers written next to metrics sidecars."""
+    try:
+        ledgers = [obs_ledger.read_ledger(path) for path in args.files]
+    except OSError as error:
+        raise ReproError(f"cannot read ledger: {error}") from error
+    if args.diff:
+        if len(ledgers) != 2:
+            raise ReproError("--diff needs exactly two ledger files")
+        print(obs_ledger.diff_ledgers(ledgers[0], ledgers[1]))
+        return 0
+    for index, ledger in enumerate(ledgers):
+        if index:
+            print()
+        print(obs_ledger.format_ledger(ledger))
+    return 0
+
+
 def _add_obs_options(command: argparse.ArgumentParser) -> None:
     """Attach the shared observability options to one subcommand."""
     command.add_argument(
@@ -337,6 +361,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--summary", action="store_true",
                        help="print per-kind event counts instead of events")
 
+    report = sub.add_parser(
+        "report",
+        help="summarize or diff *.ledger.json run manifests",
+        description="Example: repro-cache report --diff serial.ledger.json "
+        "parallel.ledger.json",
+    )
+    report.add_argument("files", nargs="+", help="ledger file(s) to read")
+    report.add_argument("--diff", action="store_true",
+                        help="compare exactly two ledgers side by side")
+
     return parser
 
 
@@ -349,51 +383,78 @@ _COMMANDS = {
     "predictability": _cmd_predictability,
     "query": _cmd_query,
     "trace": _cmd_trace,
+    "report": _cmd_report,
 }
 
 #: Namespace attributes that belong in a metrics sidecar's params block.
 _SIDECAR_PARAM_TYPES = (str, int, float, bool, type(None))
 
 
+def _sidecar_params(args: argparse.Namespace) -> dict:
+    """The scalar subcommand arguments, for sidecar/ledger params blocks."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("command", "trace_file", "metrics_file")
+        and isinstance(value, _SIDECAR_PARAM_TYPES)
+    }
+
+
 def _run_with_observability(args: argparse.Namespace) -> int:
     """Dispatch one subcommand under the requested tracing/metrics setup.
 
-    Also applies the ``--kernel/--no-kernel`` switch for the duration of
-    the command (an active tracer disables the kernel fast path anyway;
-    see OBSERVABILITY.md).
+    Every invocation starts from a clean slate — the module-wide metrics
+    store and span state are reset up front, so back-to-back commands in
+    one process (tests, notebooks) never bleed counters into each other.
+
+    Only ``--trace`` installs a tracer; with ``--metrics`` alone the
+    compiled kernel stays eligible (its counters flush into the metrics
+    store directly), so ``--metrics`` composes with ``--kernel``.  When a
+    metrics sidecar is written, a ``*.ledger.json`` run manifest lands
+    next to it for ``repro-cache report``.
     """
     trace_file = getattr(args, "trace_file", None)
     metrics_file = getattr(args, "metrics_file", None)
     command = _COMMANDS[args.command]
     kernel_before = kernel_enabled()
     set_kernel_enabled(getattr(args, "kernel", kernel_before))
+    DEFAULT.reset()
+    obs_spans.reset()
+    start = time.perf_counter()
     try:
-        if trace_file is None and metrics_file is None:
-            return command(args)
-        DEFAULT.reset()
-        sink = JsonlWriter(trace_file) if trace_file is not None else None
-        install(Tracer(keep_events=False, sink=sink))
-        try:
+        if trace_file is not None:
+            with JsonlWriter(trace_file) as sink:
+                install(Tracer(keep_events=False, sink=sink))
+                try:
+                    status = command(args)
+                finally:
+                    uninstall()
+        else:
             status = command(args)
-        finally:
-            uninstall()
-            if sink is not None:
-                sink.close()
     finally:
         set_kernel_enabled(kernel_before)
+    wall_seconds = time.perf_counter() - start
     if metrics_file is not None:
         result = ExperimentResult(
             name=f"cli-{args.command}",
-            params={
-                key: value
-                for key, value in sorted(vars(args).items())
-                if key not in ("command", "trace_file", "metrics_file")
-                and isinstance(value, _SIDECAR_PARAM_TYPES)
-            },
+            params=_sidecar_params(args),
             data={"exit_status": status},
             metrics=DEFAULT.snapshot(),
         )
         Path(metrics_file).write_text(result.to_json(indent=2) + "\n")
+        ledger = obs_ledger.build_ledger(
+            name=f"cli-{args.command}",
+            params=_sidecar_params(args),
+            wall_seconds=wall_seconds,
+            seed=getattr(args, "seed", None),
+            jobs=getattr(args, "jobs", None),
+            kernel=getattr(args, "kernel", None),
+            counters=DEFAULT.snapshot().get("counters", {}),
+            artifacts=[
+                path for path in (metrics_file, trace_file) if path is not None
+            ],
+        )
+        obs_ledger.write_ledger(ledger, obs_ledger.ledger_path_for(metrics_file))
     return status
 
 

@@ -47,10 +47,11 @@ def established_set(policy: ReplacementPolicy, thrash_factor: int = 2) -> CacheS
 
 def response(policy: ReplacementPolicy, probe: Sequence[int], thrash_factor: int = 2) -> tuple[bool, ...]:
     """Hit/miss outcome of each probe access from the established state."""
-    # Compiled fast path (deterministic policies, kernel on, no tracer):
-    # identification replays thousands of candidate responses, and the
-    # established state is just thrash + establishment from reset.
-    if obs_trace.ACTIVE is None and kernels.kernel_enabled():
+    # Compiled fast path (deterministic policies, kernel on, no tracer
+    # wanting cache.* events): identification replays thousands of
+    # candidate responses, and the established state is just thrash +
+    # establishment from reset.
+    if kernels.kernel_allowed():
         compiled = kernels.compiled_for(policy)
         if compiled is not None:
             setup = [10_000 + i for i in range(thrash_factor * policy.ways)]

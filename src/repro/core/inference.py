@@ -361,7 +361,7 @@ class PermutationInference:
         """Simulate the spec from the established state; count probe misses."""
         # The established state: way p holds establishment[A-1-p] at position p.
         preload = [establishment[ways - 1 - p] for p in range(ways)]
-        if obs_trace.ACTIVE is None and kernels.kernel_enabled():
+        if kernels.kernel_allowed():
             compiled = kernels.compiled_for_spec(spec)
             if compiled is not None:
                 try:

@@ -27,8 +27,10 @@ Implementations:
   measurements against a deterministic inner oracle.
 
 Simulated measurements additionally route through the compiled kernel
-(:mod:`repro.kernels`) when it is enabled and no tracer is active; the
-interpreted loop stays the instrumented reference path.
+(:mod:`repro.kernels`) when it is enabled and no active tracer wants
+per-access ``cache.*`` events; the interpreted loop stays the
+instrumented reference path, and ``oracle.query`` events/metrics are
+identical on both paths.
 """
 
 from __future__ import annotations
@@ -106,7 +108,7 @@ class SimulatedSetOracle(MissCountOracle):
         # Compiled fast path: same measurement as the interpreted loop
         # below (bit-identical by the kernel's equivalence suite), taken
         # whenever the kernel is on and no tracer wants per-access events.
-        if obs_trace.ACTIVE is None and kernels.kernel_enabled():
+        if kernels.kernel_allowed():
             compiled = kernels.compiled_for(self._prototype)
             if compiled is not None:
                 try:

@@ -8,14 +8,19 @@ address traces as table lookups (:mod:`repro.kernels.engine`), producing
 **bit-identical** miss counts, eviction orders and
 :class:`~repro.cache.stats.CacheStats`.
 
-Routing rules (enforced by the callers in :mod:`repro.core.oracle`,
-:mod:`repro.core.inference`, :mod:`repro.core.distinguish`,
-:mod:`repro.eval.missratio` and :mod:`repro.runner.cells`):
+Routing rules (:func:`kernel_allowed`, enforced by the callers in
+:mod:`repro.core.oracle`, :mod:`repro.core.inference`,
+:mod:`repro.core.distinguish`, :mod:`repro.eval.missratio` and
+:mod:`repro.runner.cells`):
 
 * the kernel is used automatically when it is enabled (the default; see
   :func:`set_kernel_enabled` and the CLI's ``--no-kernel``) **and** no
-  :mod:`repro.obs.trace` tracer is active — tracing keeps the
-  instrumented interpreter so per-access event streams are unchanged;
+  active :mod:`repro.obs.trace` tracer wants per-access ``cache.*``
+  events — full event tracing keeps the instrumented interpreter so
+  per-access event streams are unchanged, but metrics collection and
+  cold-event tracers (``oracle.*``/``runner.*``/... include filters)
+  compose with the kernel, whose engines flush aggregate ``kernel.*``
+  counters per call;
 * randomized/adaptive policies raise
   :class:`~repro.errors.KernelUnsupported` at compile time and fall back
   to the interpreter (whole-cache trace simulation additionally has a
@@ -30,6 +35,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.errors import KernelUnsupported
+from repro.obs import trace as _obs_trace
 from repro.kernels.automaton import (
     DEFAULT_BUDGET,
     CompiledPolicy,
@@ -71,6 +77,7 @@ __all__ = [
     "simulate_trace_direct",
     "simulate_trace_kernel",
     "try_simulate_trace",
+    "kernel_allowed",
     "kernel_enabled",
     "set_kernel_enabled",
     "kernel_disabled",
@@ -85,6 +92,21 @@ _ENABLED = True
 def kernel_enabled() -> bool:
     """True when the compiled fast path may be used."""
     return _ENABLED
+
+
+def kernel_allowed() -> bool:
+    """True when the compiled fast path may run *right now*.
+
+    The kernel must be enabled, and any active tracer must not want
+    per-access ``cache.*`` events (the one stream only the interpreter
+    can produce).  Metrics-only observers and cold-event tracers keep
+    the fast path; the engines report their work through the aggregate
+    ``kernel.*`` counters and ``kernel.run`` events instead.
+    """
+    if not _ENABLED:
+        return False
+    tracer = _obs_trace.ACTIVE
+    return tracer is None or not tracer.wants_cache
 
 
 def set_kernel_enabled(enabled: bool) -> None:

@@ -18,7 +18,11 @@ Two granularities, matching the two shapes of simulation in the library:
   inlined loop that skips the interpreter's per-access dataclass and
   tracer overhead.  :func:`try_simulate_trace` picks the right one and
   returns ``None`` when the kernel must stay off (disabled globally, or
-  an observability tracer is active).
+  an active tracer wants per-access ``cache.*`` events).  Every engine
+  call flushes its aggregate hit/miss/evict work into the metrics store
+  (``kernel.*`` counters), and the whole-trace engines additionally
+  report per-state visit counts and a ``kernel.run`` event when a
+  (cold-event) tracer is watching.
 
 Bit-identity argument, in one place: per set the interpreter's state is
 (tag→way map, policy state).  The kernel mirrors the tag→way map
@@ -43,6 +47,7 @@ from repro.cache.stats import CacheStats
 from repro.errors import KernelUnsupported
 from repro.kernels import automaton
 from repro.kernels.automaton import CompiledPolicy, compiled_for_factory
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.policies import PolicyFactory
 from repro.util.rng import SeededRng
@@ -57,6 +62,29 @@ __all__ = [
     "simulate_trace_kernel",
     "try_simulate_trace",
 ]
+
+
+# -- counters ----------------------------------------------------------------
+
+def _note_kernel_call(
+    mode: str, accesses: int, hits: int, misses: int, evictions: int = 0
+) -> None:
+    """Flush one engine call's aggregate work into the metrics store.
+
+    The compiled engines have no per-access instrumentation sites, so
+    this per-call flush is what keeps a metrics-only observer informed
+    without giving up the fast path.  ``mode`` is ``"set"`` (single-set
+    block runs), ``"trace"`` (compiled whole-cache) or ``"direct"``
+    (real-policy whole-cache).
+    """
+    metrics = obs_metrics.DEFAULT
+    metrics.incr("kernel.calls")
+    metrics.incr(f"kernel.calls.{mode}")
+    metrics.incr("kernel.accesses", accesses)
+    metrics.incr("kernel.hits", hits)
+    metrics.incr("kernel.misses", misses)
+    if evictions:
+        metrics.incr("kernel.evictions", evictions)
 
 
 # -- single-set runs ---------------------------------------------------------
@@ -118,7 +146,9 @@ def count_misses_kernel(
     state = _run_blocks(compiled, setup, way_of, tag_of, 0)
     hits: list[bool] = []
     _run_blocks(compiled, probe, way_of, tag_of, state, hits)
-    return len(hits) - sum(hits)
+    probe_hits = sum(hits)
+    _note_kernel_call("set", len(setup) + len(hits), probe_hits, len(hits) - probe_hits)
+    return len(hits) - probe_hits
 
 
 def count_misses_preloaded(
@@ -137,7 +167,9 @@ def count_misses_preloaded(
     tag_of = list(tags)
     hits: list[bool] = []
     _run_blocks(compiled, probe, way_of, tag_of, 0, hits)
-    return len(hits) - sum(hits)
+    probe_hits = sum(hits)
+    _note_kernel_call("set", len(hits), probe_hits, len(hits) - probe_hits)
+    return len(hits) - probe_hits
 
 
 def sequence_hits(
@@ -149,6 +181,8 @@ def sequence_hits(
     state = _run_blocks(compiled, setup, way_of, tag_of, 0)
     hits: list[bool] = []
     _run_blocks(compiled, probe, way_of, tag_of, state, hits)
+    probe_hits = sum(hits)
+    _note_kernel_call("set", len(setup) + len(hits), probe_hits, len(hits) - probe_hits)
     return tuple(hits)
 
 
@@ -192,6 +226,14 @@ def simulate_sequence(
             way_of[block] = victim
             state = nxt
             results.append(SetAccessResult(hit=False, way=victim, evicted_tag=evicted))
+    total_hits = sum(1 for outcome in results if outcome.hit)
+    _note_kernel_call(
+        "set",
+        len(results),
+        total_hits,
+        len(results) - total_hits,
+        sum(1 for outcome in results if outcome.evicted_tag is not None),
+    )
     return results
 
 
@@ -228,14 +270,14 @@ def simulate_trace_kernel(
             f"{config.ways} ways"
         )
     try:
-        return _simulate_trace_compiled(trace, config, compiled)
+        return _simulate_trace_compiled(trace, config, compiled, factory.name)
     except KernelUnsupported:
         automaton.mark_factory_unsupported(factory.name, params, config.ways)
         raise
 
 
 def _simulate_trace_compiled(
-    trace: Trace, config: CacheConfig, compiled: CompiledPolicy
+    trace: Trace, config: CacheConfig, compiled: CompiledPolicy, policy: str = "?"
 ) -> CacheStats:
     offset_bits, index_bits, hashed, set_mask = _decompose_params(config)
     num_sets = config.num_sets
@@ -252,6 +294,12 @@ def _simulate_trace_compiled(
     expand_fill = compiled.expand_fill
     expand_miss = compiled.expand_miss
     hits = misses = evictions = 0
+    # Per-state visit counts (flat array indexed by state id), collected
+    # only when a (cold-event) tracer is watching: the extra list write
+    # per access is measurable, and without a tracer the aggregates above
+    # are all a metrics snapshot reports anyway.
+    tracer = obs_trace.ACTIVE
+    visits: list[int] | None = [] if tracer is not None else None
     addresses = trace.addresses
     for address in addresses:
         if hashed:
@@ -267,6 +315,10 @@ def _simulate_trace_compiled(
             tag = address >> tag_shift
         way_of = way_ofs[set_index]
         state = states[set_index]
+        if visits is not None:
+            if state >= len(visits):
+                visits.extend([0] * (state + 1 - len(visits)))
+            visits[state] += 1
         way = way_of.get(tag)
         if way is not None:
             hits += 1
@@ -292,6 +344,24 @@ def _simulate_trace_compiled(
             tag_of[victim] = tag
             way_of[tag] = victim
             states[set_index] = nxt
+    _note_kernel_call("trace", len(addresses), hits, misses, evictions)
+    if tracer is not None and visits is not None:
+        states_visited = sum(1 for count in visits if count)
+        metrics = obs_metrics.DEFAULT
+        metrics.incr("kernel.states_visited", states_visited)
+        for count in visits:
+            if count:
+                metrics.observe("kernel.state_visits", count)
+        tracer.emit(
+            "kernel.run",
+            mode="trace",
+            policy=policy,
+            accesses=len(addresses),
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            states=states_visited,
+        )
     return CacheStats(
         accesses=len(addresses),
         hits=hits,
@@ -363,6 +433,18 @@ def simulate_trace_direct(
             tag_of[victim] = tag
             way_of[tag] = victim
             set_policy.fill(victim)
+    _note_kernel_call("direct", len(addresses), hits, misses, evictions)
+    tracer = obs_trace.ACTIVE
+    if tracer is not None:
+        tracer.emit(
+            "kernel.run",
+            mode="direct",
+            policy=factory.name,
+            accesses=len(addresses),
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+        )
     return CacheStats(
         accesses=len(addresses),
         hits=hits,
@@ -381,22 +463,25 @@ def try_simulate_trace(
     """Fast-path a whole-trace simulation if the kernel may run.
 
     Returns ``None`` when the caller must use the interpreter: the
-    kernel is globally disabled, or an observability tracer is active
-    (the interpreter is the instrumented path; see OBSERVABILITY.md).
+    kernel is globally disabled, or an active tracer wants per-access
+    ``cache.*`` events (the interpreter is the instrumented path; see
+    OBSERVABILITY.md).  Metrics-only observers and cold-event tracers
+    keep the fast path — the engines flush aggregate ``kernel.*``
+    counters per call and emit ``kernel.run`` summaries under a tracer.
     Otherwise returns statistics bit-identical to the interpreter's,
     choosing the compiled automaton when the policy supports it and
     direct mode when it does not.
     """
-    from repro.kernels import kernel_enabled
+    from repro.kernels import kernel_allowed
 
-    if not kernel_enabled() or obs_trace.ACTIVE is not None:
+    if not kernel_allowed():
         return None
     factory = policy if isinstance(policy, PolicyFactory) else PolicyFactory(policy)
     params = tuple(sorted(factory.params.items()))
     compiled = compiled_for_factory(factory.name, params, config.ways)
     if compiled is not None:
         try:
-            return _simulate_trace_compiled(trace, config, compiled)
+            return _simulate_trace_compiled(trace, config, compiled, factory.name)
         except KernelUnsupported:
             # Budget blown mid-run: remember, and re-run in direct mode.
             automaton.mark_factory_unsupported(factory.name, params, config.ways)

@@ -9,7 +9,7 @@ and timers aggregate into the module-wide :data:`~repro.obs.metrics.DEFAULT`
 its outcome as a schema-versioned
 :class:`~repro.obs.result.ExperimentResult`.
 
-Three layers:
+Five layers:
 
 * :mod:`repro.obs.trace` — the event bus.  ``install(Tracer(...))`` (or
   the ``tracing(...)`` context manager) turns on event emission from
@@ -21,14 +21,36 @@ Three layers:
   (cells scheduled/retried/completed).  With no tracer installed the
   instrumentation is a single global ``is None`` check.
 * :mod:`repro.obs.metrics` — counters, timers and histograms,
-  snapshot-able to JSON and printable as a summary table.
+  snapshot-able to JSON, printable as a summary table, and mergeable
+  across processes (the runner folds worker stores back into the
+  parent's :data:`~repro.obs.metrics.DEFAULT`).
+* :mod:`repro.obs.spans` — hierarchical timed spans (context manager and
+  decorator) emitting ``span.start``/``span.end`` events and feeding the
+  metrics timers; span context propagates into runner worker processes
+  so a cell's spans nest under the run that scheduled it.
 * :mod:`repro.obs.result` — the unified experiment result protocol
   (:class:`~repro.obs.result.ExperimentResult`) shared by inference
   results, miss-ratio matrices, the CLI and the E1-E12 benchmarks.
+* :mod:`repro.obs.ledger` — schema-versioned ``*.ledger.json`` run
+  manifests (git SHA, params, seeds, environment, wall time, artifact
+  digests, counter snapshot) written next to every sidecar and compared
+  by the ``repro-cache report`` subcommand.
 
-The event schema and result protocol are documented in OBSERVABILITY.md.
+The event schema, result protocol and ledger schema are documented in
+OBSERVABILITY.md.
 """
 
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    build_ledger,
+    diff_ledgers,
+    format_ledger,
+    ledger_path_for,
+    read_ledger,
+    validate_ledger,
+    write_ledger,
+)
 from repro.obs.metrics import DEFAULT, Metrics, MetricSummary
 from repro.obs.result import (
     SCHEMA_VERSION,
@@ -36,6 +58,7 @@ from repro.obs.result import (
     validate_result,
     validate_result_file,
 )
+from repro.obs.spans import adopt, current_span, span, traced
 from repro.obs.trace import (
     JsonlWriter,
     Tracer,
@@ -53,11 +76,24 @@ __all__ = [
     "Metrics",
     "MetricSummary",
     "SCHEMA_VERSION",
+    "LEDGER_SCHEMA_VERSION",
     "ExperimentResult",
+    "RunLedger",
+    "build_ledger",
+    "diff_ledgers",
+    "format_ledger",
+    "ledger_path_for",
+    "read_ledger",
+    "validate_ledger",
     "validate_result",
     "validate_result_file",
+    "write_ledger",
     "JsonlWriter",
     "Tracer",
+    "adopt",
+    "current_span",
+    "span",
+    "traced",
     "filter_events",
     "format_event",
     "install",

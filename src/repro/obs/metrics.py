@@ -65,6 +65,29 @@ class MetricSummary:
         """Arithmetic mean of the observed values (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another summary's :meth:`snapshot` into this one.
+
+        Exact for every reported statistic (count, total, min, max, the
+        bucket histogram — and therefore the mean), which is what lets
+        worker processes observe into local stores and the runner merge
+        them back without loss.
+        """
+        count = int(snapshot.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(snapshot.get("total", 0.0))
+        minimum = snapshot.get("min")
+        if minimum is not None and minimum < self.minimum:
+            self.minimum = minimum
+        maximum = snapshot.get("max")
+        if maximum is not None and maximum > self.maximum:
+            self.maximum = maximum
+        for key, samples in snapshot.get("buckets", {}).items():
+            bound = float(str(key)[3:])  # "le_<bound>" -> bound
+            self.buckets[bound] = self.buckets.get(bound, 0) + samples
+
     def snapshot(self) -> dict:
         """JSON-able rendering of the summary."""
         return {
@@ -125,9 +148,33 @@ class Metrics:
         }
 
     def reset(self) -> None:
-        """Drop every counter and summary."""
+        """Drop every counter and summary.
+
+        Entry points that produce metrics sidecars (the CLI dispatcher,
+        the benchmark harness) reset the module-wide :data:`DEFAULT`
+        store at the start of each invocation so one run's counters never
+        contaminate the next run's sidecar.
+        """
         self._counters.clear()
         self._summaries.clear()
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another store into this one.
+
+        Counters add; observation summaries merge exactly (see
+        :meth:`MetricSummary.merge`).  This is how the experiment runner
+        folds worker-process metrics back into the parent's store —
+        merging every worker's delta into the parent reproduces the
+        serial run's counters exactly (timings differ in value, never in
+        count).
+        """
+        for name, amount in snapshot.get("counters", {}).items():
+            self.incr(name, amount)
+        for name, data in snapshot.get("observations", {}).items():
+            summary = self._summaries.get(name)
+            if summary is None:
+                summary = self._summaries[name] = MetricSummary()
+            summary.merge(data)
 
     def format_summary(self, title: str = "metrics") -> str:
         """Render the snapshot as a printable table."""

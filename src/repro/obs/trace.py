@@ -27,12 +27,15 @@ event mix even when events themselves are not kept.
 The kind namespace is documented in OBSERVABILITY.md:
 ``cache.*`` (hit/miss/evict/fill), ``oracle.*`` (query/vote),
 ``infer.*`` (phase/verify), ``identify.*`` (candidate), ``runner.*``
-(scheduled/chunk/cell/retry).
+(scheduled/chunk/cell/retry), ``span.*`` (start/end, see
+:mod:`repro.obs.spans`) and ``kernel.*`` (compiled-engine run summaries).
 
-Events are process-local: grid cells dispatched to worker processes by
-the experiment runner do not stream their cache/oracle events back to
-the parent (the parent still records the ``runner.cell`` events).  Run
-with ``jobs=0`` to trace inside the cells.
+Events cross process boundaries: grid cells dispatched to worker
+processes by the experiment runner are traced by a worker-local tracer
+(same include filter), and the collected shards are merged back into the
+parent tracer via :meth:`Tracer.ingest`, which rebases their ``seq``
+numbers onto the parent's counter.  A parallel run therefore produces
+one coherent trace, same event mix as ``jobs=0``.
 """
 
 from __future__ import annotations
@@ -112,23 +115,77 @@ class Tracer:
         if self.sink is not None:
             self.sink(event)
 
+    def ingest(self, events: Iterable[dict]) -> int:
+        """Merge events recorded by another tracer (e.g. a worker shard).
+
+        Each event is re-sequenced onto this tracer's counter (its
+        original ``seq`` is discarded), re-checked against the include
+        filter, kept/sunk like a locally emitted event — but **not**
+        re-counted in the ``events.<kind>`` metrics: the recording
+        process's own store already counted it, and the runner merges
+        that store's snapshot separately.  Returns the number of events
+        accepted.
+        """
+        accepted = 0
+        for event in events:
+            kind = str(event.get("kind", ""))
+            if self.include is not None and not kind.startswith(self.include):
+                continue
+            self._seq += 1
+            merged = dict(event)
+            merged["seq"] = self._seq
+            if self.keep_events:
+                self.events.append(merged)
+            if self.sink is not None:
+                self.sink(merged)
+            accepted += 1
+        return accepted
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         filt = ",".join(self.include) if self.include is not None else "*"
         return f"<Tracer events={len(self.events)} include={filt}>"
 
 
 class JsonlWriter:
-    """Event sink that streams one JSON object per line to a file."""
+    """Event sink that streams one JSON object per line to a file.
 
-    def __init__(self, path: str | Path) -> None:
+    Usable as a context manager (the recommended form — the file is
+    flushed and closed even when the traced block raises)::
+
+        with JsonlWriter("run.trace.jsonl") as sink:
+            install(Tracer(keep_events=False, sink=sink))
+            ...
+
+    The stream is flushed every ``flush_every`` events, so a crashed run
+    leaves at most ``flush_every - 1`` unflushed events behind instead of
+    a silently truncated file.
+    """
+
+    def __init__(self, path: str | Path, flush_every: int = 100) -> None:
         self.path = Path(path)
+        self.flush_every = max(1, int(flush_every))
+        self.write_count = 0
         self._handle = open(self.path, "w", encoding="utf-8")
 
     def __call__(self, event: dict) -> None:
         self._handle.write(json.dumps(event, default=str) + "\n")
+        self.write_count += 1
+        if self.write_count % self.flush_every == 0:
+            self._handle.flush()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once the underlying file has been closed."""
+        return self._handle.closed
 
     def close(self) -> None:
-        """Flush and close the underlying file."""
+        """Flush and close the underlying file (idempotent)."""
         if not self._handle.closed:
             self._handle.close()
 

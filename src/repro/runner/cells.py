@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.cache import Cache, CacheConfig, CacheStats
 from repro.kernels import try_simulate_trace
+from repro.obs import spans as obs_spans
 from repro.policies import PolicyFactory
 from repro.util.rng import SeededRng, derive_seed
 from repro.workloads.trace import Trace
@@ -123,17 +124,20 @@ def simulate_cell(cell: SimCell) -> CellResult:
     """Run one cell in the current process (worker entry point).
 
     Fast-pathed through the compiled kernel when it is enabled and no
-    tracer is active (worker processes inherit both switches via fork);
-    the interpreted loop below is the bit-identical reference.
+    active tracer wants per-access ``cache.*`` events; the interpreted
+    loop below is the bit-identical reference.  The whole cell runs
+    inside a ``cell`` span, which in a worker process nests under the
+    parent's ``runner.map`` span via the runner's forwarded context.
     """
-    factory = PolicyFactory(cell.policy, **dict(cell.params))
-    stats = try_simulate_trace(cell.trace, cell.config, factory, cell.seed)
-    if stats is None:
-        cache = Cache(cell.config, factory, rng=SeededRng(cell.seed))
-        access = cache.access
-        for address in cell.trace.addresses:
-            access(address)
-        stats = cache.stats.snapshot()
+    with obs_spans.span("cell", label=cell.label):
+        factory = PolicyFactory(cell.policy, **dict(cell.params))
+        stats = try_simulate_trace(cell.trace, cell.config, factory, cell.seed)
+        if stats is None:
+            cache = Cache(cell.config, factory, rng=SeededRng(cell.seed))
+            access = cache.access
+            for address in cell.trace.addresses:
+                access(address)
+            stats = cache.stats.snapshot()
     return CellResult(policy=cell.policy, trace=cell.trace.name, stats=stats)
 
 

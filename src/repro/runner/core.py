@@ -20,6 +20,19 @@ Failures degrade, never abort: a chunk whose worker dies (or whose task
 cannot be pickled) is retried in a fresh pool, and whatever still fails
 is re-executed serially in the parent process, where a genuine task
 error surfaces with its original traceback.
+
+Observability crosses the process boundary.  Each dispatched chunk runs
+against a *worker-local* :class:`~repro.obs.metrics.Metrics` store and
+(when the parent has a tracer installed) a worker-local
+:class:`~repro.obs.trace.Tracer` with the parent's include filter; the
+chunk result carries the store's snapshot and the collected events back,
+the parent merges the snapshot into :data:`repro.obs.metrics.DEFAULT`
+and interleaves the event shards — in deterministic cell order, seq
+numbers rebased — into its own tracer.  Span context
+(:mod:`repro.obs.spans`) is forwarded too, so a cell's spans nest under
+the ``runner.map`` span that scheduled it.  A parallel run therefore
+produces the same counters and the same event mix as ``jobs=0``; only
+wall-clock observations differ in value.
 """
 
 from __future__ import annotations
@@ -28,8 +41,10 @@ import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 
 
@@ -53,14 +68,53 @@ class CellTiming:
 ProgressHook = Callable[[CellTiming], None]
 
 
-def _run_chunk(fn, indexed_tasks):
-    """Worker entry point: run one chunk of (index, task) pairs."""
-    results = []
-    for index, task in indexed_tasks:
-        start = time.perf_counter()
-        value = fn(task)
-        results.append((index, value, time.perf_counter() - start))
-    return results
+def _run_chunk(fn, indexed_tasks, capture=None):
+    """Worker entry point: run one chunk of (index, task) pairs.
+
+    Returns ``(rows, metrics_snapshot, events)``.  With ``capture`` set
+    (a spec built by :meth:`ExperimentRunner._capture_spec`), the chunk
+    runs against a fresh worker-local metrics store — and, when the
+    parent traces, a worker-local tracer — whose contents travel back in
+    the return value for the parent to merge.  Span context nests the
+    chunk's spans under the parent's ``runner.map`` span via a
+    deterministic ``w<first-cell-index>`` prefix, so ids are unique
+    across chunks without any process-dependent state.
+    """
+    if capture is None:
+        rows = []
+        for index, task in indexed_tasks:
+            start = time.perf_counter()
+            value = fn(task)
+            rows.append((index, value, time.perf_counter() - start))
+        return rows, None, None
+
+    local = obs_metrics.Metrics()
+    tracer = None
+    if capture.get("trace"):
+        tracer = obs_trace.Tracer(keep_events=True, include=capture.get("include"))
+    previous_metrics = obs_metrics.DEFAULT
+    previous_tracer = obs_trace.ACTIVE
+    obs_metrics.DEFAULT = local
+    obs_trace.ACTIVE = tracer
+    first = indexed_tasks[0][0] if indexed_tasks else 0
+    try:
+        with obs_spans.adopt(capture.get("span_parent"), f"w{first}"):
+            rows = []
+            for index, task in indexed_tasks:
+                start = time.perf_counter()
+                value = fn(task)
+                rows.append((index, value, time.perf_counter() - start))
+    finally:
+        obs_metrics.DEFAULT = previous_metrics
+        obs_trace.ACTIVE = previous_tracer
+    events = tracer.events if tracer is not None else None
+    shard_dir = capture.get("shard_dir")
+    if events and shard_dir:
+        shard_path = Path(shard_dir) / f"shard-{first:06d}.jsonl"
+        with obs_trace.JsonlWriter(shard_path) as writer:
+            for event in events:
+                writer(event)
+    return rows, local.snapshot(), events
 
 
 class ExperimentRunner:
@@ -75,6 +129,10 @@ class ExperimentRunner:
         retries: how many times a failed chunk is resubmitted to a fresh
             pool before the serial fallback runs it in the parent.
         progress: optional per-cell :data:`ProgressHook`.
+        trace_shard_dir: when set and a tracer is active, each worker
+            chunk also writes its events to a per-chunk JSONL shard
+            (``shard-<first-cell-index>.jsonl``) in this directory, for
+            post-mortems of runs that die before the parent merge.
 
     Every completed cell is also appended to :attr:`timings`, which the
     benchmarks use for their throughput tables.
@@ -86,11 +144,13 @@ class ExperimentRunner:
         chunk_size: int | None = None,
         retries: int = 1,
         progress: ProgressHook | None = None,
+        trace_shard_dir: str | Path | None = None,
     ) -> None:
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.retries = retries
         self.progress = progress
+        self.trace_shard_dir = trace_shard_dir
         self.timings: list[CellTiming] = []
 
     @property
@@ -117,42 +177,86 @@ class ExperimentRunner:
         if len(labels) != len(tasks):
             raise ValueError(f"{len(tasks)} tasks but {len(labels)} labels")
         indexed = list(enumerate(tasks))
-        tracer = obs_trace.ACTIVE
-        if tracer is not None:
-            tracer.emit(
-                "runner.scheduled",
-                cells=len(tasks),
-                jobs=self.jobs if self.parallel else 1,
-            )
-        if not self.parallel or len(tasks) <= 1:
-            return self._run_serially(fn, indexed, labels, source="serial")
+        with obs_spans.span(
+            "runner.map",
+            cells=len(tasks),
+            jobs=self.jobs if self.parallel else 1,
+        ):
+            tracer = obs_trace.ACTIVE
+            if tracer is not None:
+                tracer.emit(
+                    "runner.scheduled",
+                    cells=len(tasks),
+                    jobs=self.jobs if self.parallel else 1,
+                )
+            if not self.parallel or len(tasks) <= 1:
+                return self._run_serially(fn, indexed, labels, source="serial")
 
-        results: dict[int, object] = {}
-        pending = self._chunked(indexed)
-        for _attempt in range(1 + max(0, self.retries)):
-            if not pending:
-                break
-            pending = self._run_round(fn, pending, labels, results)
-        if pending:
-            # Last resort: run the survivors in-process.  Deterministic
-            # task errors propagate here with their original traceback.
-            fallback = [pair for chunk in pending for pair in chunk]
-            fallback.sort(key=lambda pair: pair[0])
-            for index, value in zip(
-                (pair[0] for pair in fallback),
-                self._run_serially(fn, fallback, labels, source="fallback"),
-            ):
-                results[index] = value
-        return [results[index] for index in range(len(tasks))]
+            results: dict[int, object] = {}
+            shards: dict[int, list] = {}
+            capture = self._capture_spec()
+            pending = self._chunked(indexed)
+            for _attempt in range(1 + max(0, self.retries)):
+                if not pending:
+                    break
+                pending = self._run_round(
+                    fn, pending, labels, results, capture, shards
+                )
+            if pending:
+                # Last resort: run the survivors in-process.  Deterministic
+                # task errors propagate here with their original traceback.
+                fallback = [pair for chunk in pending for pair in chunk]
+                fallback.sort(key=lambda pair: pair[0])
+                for index, value in zip(
+                    (pair[0] for pair in fallback),
+                    self._run_serially(fn, fallback, labels, source="fallback"),
+                ):
+                    results[index] = value
+            self._ingest_shards(shards)
+            return [results[index] for index in range(len(tasks))]
 
     # -- internals ---------------------------------------------------------
-    def _run_round(self, fn, chunks, labels, results) -> list:
+    def _capture_spec(self) -> dict:
+        """Describe to workers what observability state to capture.
+
+        The spec is pickled with every chunk; it carries the parent's
+        span path (so worker spans nest under ``runner.map``) and, when
+        a tracer is installed, its include filter and the optional shard
+        directory.  Metrics capture is unconditional — merging a
+        worker's store into the parent's is what keeps ``--jobs N``
+        counters identical to a serial run.
+        """
+        spec: dict = {"span_parent": obs_spans.current_span()}
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            spec["trace"] = True
+            spec["include"] = tracer.include
+            if self.trace_shard_dir is not None:
+                shard_dir = Path(self.trace_shard_dir)
+                shard_dir.mkdir(parents=True, exist_ok=True)
+                spec["shard_dir"] = str(shard_dir)
+        return spec
+
+    def _ingest_shards(self, shards: dict[int, list]) -> None:
+        """Re-sequence buffered worker events into the parent tracer.
+
+        Shards are interleaved in deterministic first-cell-index order,
+        so the merged trace does not depend on chunk completion order.
+        """
+        tracer = obs_trace.ACTIVE
+        if tracer is None or not shards:
+            return
+        for first in sorted(shards):
+            tracer.ingest(shards[first])
+
+    def _run_round(self, fn, chunks, labels, results, capture, shards) -> list:
         """Submit ``chunks`` to one fresh pool; return the failed ones."""
         failed: list = []
         try:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 future_of = {
-                    pool.submit(_run_chunk, fn, chunk): chunk for chunk in chunks
+                    pool.submit(_run_chunk, fn, chunk, capture): chunk
+                    for chunk in chunks
                 }
                 remaining = set(future_of)
                 while remaining:
@@ -160,7 +264,7 @@ class ExperimentRunner:
                     for future in done:
                         chunk = future_of[future]
                         try:
-                            rows = future.result()
+                            rows, worker_metrics, worker_events = future.result()
                         except Exception:
                             # Worker death, pickling failure, or a task
                             # error; all retried, then run serially.
@@ -170,6 +274,10 @@ class ExperimentRunner:
                                 tracer.emit("runner.retry", cells=len(chunk))
                             failed.append(chunk)
                             continue
+                        if worker_metrics:
+                            obs_metrics.DEFAULT.merge(worker_metrics)
+                        if worker_events:
+                            shards[chunk[0][0]] = worker_events
                         for index, value, seconds in rows:
                             results[index] = value
                             self.record(index, labels[index], seconds, "parallel")

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import ledger as obs_ledger
 from repro.obs import read_jsonl, validate_result_file
 
 
@@ -157,4 +158,79 @@ class TestObservability:
 
     def test_trace_subcommand_missing_file(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics_keeps_the_kernel_engaged(self, tmp_path, capsys):
+        """--metrics alone must not disable the compiled fast path."""
+        from repro.runner import clear_memo
+
+        clear_memo()  # memoized cells would bypass the kernel entirely
+        metrics_file = tmp_path / "eval.metrics.json"
+        code = main(
+            ["evaluate", "--policies", "lru", "--size", "4096",
+             "--ways", "4", "--metrics", str(metrics_file)]
+        )
+        assert code == 0
+        counters = validate_result_file(metrics_file).metrics["counters"]
+        assert counters.get("kernel.calls", 0) > 0
+
+    def test_metrics_scoped_per_invocation(self, tmp_path, capsys):
+        """Back-to-back commands in one process must not bleed counters."""
+        first = tmp_path / "a.metrics.json"
+        second = tmp_path / "b.metrics.json"
+        argv = ["query", "--policy", "lru", "--ways", "2", "a b a?"]
+        assert main(argv + ["--metrics", str(first)]) == 0
+        assert main(argv + ["--metrics", str(second)]) == 0
+        capsys.readouterr()
+        counters_a = validate_result_file(first).metrics["counters"]
+        counters_b = validate_result_file(second).metrics["counters"]
+        assert counters_a == counters_b
+
+
+class TestLedgerAndReport:
+    def _run_with_metrics(self, tmp_path, name="run"):
+        metrics_file = tmp_path / f"{name}.metrics.json"
+        assert main(
+            ["query", "--policy", "lru", "--ways", "2",
+             "--metrics", str(metrics_file), "a b a?"]
+        ) == 0
+        return metrics_file
+
+    def test_metrics_sidecar_brings_a_ledger(self, tmp_path, capsys):
+        metrics_file = self._run_with_metrics(tmp_path)
+        ledger_path = obs_ledger.ledger_path_for(metrics_file)
+        assert ledger_path.exists()
+        ledger = obs_ledger.read_ledger(ledger_path)
+        assert ledger.name == "cli-query"
+        assert ledger.wall_seconds >= 0
+        assert ledger.counters.get("oracle.measurements", 0) >= 1
+        artifact_names = [a["path"] for a in ledger.artifacts]
+        assert metrics_file.name in artifact_names
+
+    def test_report_renders_a_single_ledger(self, tmp_path, capsys):
+        metrics_file = self._run_with_metrics(tmp_path)
+        capsys.readouterr()
+        ledger_path = obs_ledger.ledger_path_for(metrics_file)
+        assert main(["report", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-query" in out
+        assert "oracle.measurements" in out
+
+    def test_report_diff_renders_both_runs(self, tmp_path, capsys):
+        a = obs_ledger.ledger_path_for(self._run_with_metrics(tmp_path, "a"))
+        b = obs_ledger.ledger_path_for(self._run_with_metrics(tmp_path, "b"))
+        capsys.readouterr()
+        assert main(["report", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "wall_seconds" in out
+        assert "oracle.measurements" in out
+
+    def test_report_diff_needs_exactly_two(self, tmp_path, capsys):
+        path = obs_ledger.ledger_path_for(self._run_with_metrics(tmp_path))
+        capsys.readouterr()
+        assert main(["report", "--diff", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.ledger.json")]) == 2
         assert "error" in capsys.readouterr().err

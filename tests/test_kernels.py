@@ -15,6 +15,7 @@ from repro.kernels import (
     compiled_for_spec,
     count_misses_kernel,
     count_misses_preloaded,
+    kernel_allowed,
     kernel_disabled,
     kernel_enabled,
     mark_factory_unsupported,
@@ -25,6 +26,7 @@ from repro.kernels import (
     simulate_sequence,
     try_simulate_trace,
 )
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from repro.policies import LruPolicy, RandomPolicy, lru_spec, make_policy
 from repro.util.rng import SeededRng
@@ -232,6 +234,67 @@ class TestRouting:
         # Cost metrics are identical in both paths.
         assert fast.measurements == 1
         assert fast.accesses == len(setup) + len(probe)
+
+
+class TestKernelCounters:
+    CONFIG = CacheConfig("tiny", 2 * 1024, 4)  # 8 sets
+
+    def _trace(self):
+        return Trace("t", tuple((i % 96) * 64 for i in range(300)))
+
+    def test_kernel_allowed_with_cold_path_tracer(self):
+        """A tracer that does not want cache.* events leaves the kernel
+        engaged; only per-access fidelity forces the interpreter."""
+        assert kernel_allowed()
+        with tracing(include=("runner.", "kernel.")):
+            assert kernel_allowed()
+        with tracing():  # full fidelity wants cache.*
+            assert not kernel_allowed()
+        with kernel_disabled():
+            assert not kernel_allowed()
+
+    def test_trace_mode_flushes_counters(self):
+        obs_metrics.DEFAULT.reset()
+        stats = try_simulate_trace(self._trace(), self.CONFIG, "lru")
+        assert stats is not None
+        counters = obs_metrics.DEFAULT.snapshot()["counters"]
+        assert counters["kernel.calls"] == 1
+        assert counters["kernel.calls.trace"] == 1
+        assert counters["kernel.accesses"] == stats.accesses
+        assert counters["kernel.hits"] == stats.hits
+        assert counters["kernel.misses"] == stats.misses
+        assert counters["kernel.evictions"] == stats.evictions
+
+    def test_direct_mode_flushes_counters(self):
+        obs_metrics.DEFAULT.reset()
+        stats = try_simulate_trace(self._trace(), self.CONFIG, "random", seed=3)
+        assert stats is not None
+        counters = obs_metrics.DEFAULT.snapshot()["counters"]
+        assert counters["kernel.calls"] == 1
+        assert counters["kernel.calls.direct"] == 1
+        assert counters["kernel.accesses"] == stats.accesses
+
+    def test_kernel_run_event_under_cold_path_tracer(self):
+        obs_metrics.DEFAULT.reset()
+        with tracing(include=("kernel.",)) as tracer:
+            stats = try_simulate_trace(self._trace(), self.CONFIG, "lru")
+        assert stats is not None
+        (event,) = [e for e in tracer.events if e["kind"] == "kernel.run"]
+        assert event["mode"] == "trace"
+        assert event["policy"] == "lru"
+        assert event["hits"] == stats.hits
+        assert event["misses"] == stats.misses
+        assert event["states"] >= 1
+        # Per-state visit detail rides along only when a tracer asked.
+        observations = obs_metrics.DEFAULT.snapshot()["observations"]
+        assert observations["kernel.state_visits"]["count"] == event["states"]
+
+    def test_state_visit_detail_skipped_without_tracer(self):
+        obs_metrics.DEFAULT.reset()
+        assert try_simulate_trace(self._trace(), self.CONFIG, "lru") is not None
+        snapshot = obs_metrics.DEFAULT.snapshot()
+        assert "kernel.state_visits" not in snapshot["observations"]
+        assert "kernel.states_visited" not in snapshot["counters"]
 
 
 class TestCliFlag:

@@ -1,0 +1,170 @@
+"""Golden test: emitted events match the OBSERVABILITY.md schema table.
+
+The event table in OBSERVABILITY.md is the contract trace consumers
+program against.  This test parses that table out of the document,
+exercises every emitting layer, and asserts in both directions:
+
+* every event kind the code emits is documented, and carries no fields
+  beyond its documented set (``span.start`` excepted — it is documented
+  as open to caller fields);
+* every documented kind and every documented field is actually
+  produced somewhere, so the table cannot rot.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core import InferenceConfig, PermutationInference, SimulatedSetOracle
+from repro.core.identify import CandidateIdentification
+from repro.core.oracle import VotingOracle
+from repro.kernels import try_simulate_trace
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs import trace as obs_trace
+from repro.obs.trace import tracing
+from repro.policies import PolicyFactory, get
+from repro.runner import ExperimentRunner
+from repro.workloads import cyclic_loop
+
+DOC = Path(__file__).parent.parent / "OBSERVABILITY.md"
+
+#: Kinds documented as carrying arbitrary extra (caller-supplied) fields.
+OPEN_KINDS = {"span.start"}
+
+#: Fields documented as conditional (not on every event of the kind).
+OPTIONAL_FIELDS = {
+    "infer.phase": {"seconds"},   # end events only
+    "kernel.run": {"states"},     # trace mode only
+    "span.start": {"parent"},     # always present, may be None
+}
+
+
+def golden_schema() -> dict[str, set[str]]:
+    """Parse the event table out of OBSERVABILITY.md: kind -> field set."""
+    schema: dict[str, set[str]] = {}
+    in_table = False
+    for line in DOC.read_text().splitlines():
+        if line.startswith("| kind |"):
+            in_table = True
+            continue
+        if in_table:
+            if not line.startswith("|"):
+                break
+            cells = [cell.strip() for cell in line.strip("|").split("|")]
+            if len(cells) != 3 or set(cells[0]) <= {"-", " "}:
+                continue
+            kind_match = re.search(r"`([^`]+)`", cells[0])
+            if not kind_match:
+                continue
+            fields = set()
+            for part in cells[2].split(","):
+                field_match = re.search(r"`([^`]+)`", part)
+                if field_match:
+                    fields.add(field_match.group(1))
+            schema[kind_match.group(1)] = fields
+    return schema
+
+
+def _double(x):
+    return 2 * x
+
+
+def collect_events() -> list[dict]:
+    """Exercise every emitting layer; return all accepted events."""
+    obs_metrics.DEFAULT.reset()
+    obs_spans.reset()
+    events: list[dict] = []
+
+    # cache.* (hit/miss/evict/fill), oracle.query, oracle.vote — the
+    # full-fidelity tracer forces the interpreted path.
+    with tracing() as tracer:
+        oracle = VotingOracle(SimulatedSetOracle(get("lru", 2)), repetitions=3)
+        oracle.count_misses([0, 1], [0, 5, 0])
+    events += tracer.events
+
+    # infer.start / infer.phase / infer.verify / infer.end.
+    with tracing() as tracer:
+        PermutationInference(
+            SimulatedSetOracle(get("lru", 2)),
+            config=InferenceConfig(verify_sequences=2),
+        ).infer()
+    events += tracer.events
+
+    # identify.start / identify.candidate / identify.end.
+    with tracing() as tracer:
+        CandidateIdentification(SimulatedSetOracle(get("lru", 2)), ways=2).identify()
+    events += tracer.events
+
+    # runner.scheduled / runner.cell and span.start / span.end.
+    with tracing() as tracer:
+        ExperimentRunner().map(_double, [1, 2], labels=["a", "b"])
+        with obs_spans.span("unit", note="golden"):
+            pass
+    events += tracer.events
+
+    # runner.retry: a lambda cannot be pickled, so every chunk fails and
+    # is retried before the serial fallback completes the map.
+    with tracing() as tracer:
+        ExperimentRunner(jobs=2, retries=1).map(lambda x: x, [1, 2, 3, 4])
+    events += tracer.events
+
+    # kernel.run in both compiled-trace and direct mode (the cold-path
+    # include filter leaves the kernel engaged).
+    with tracing(include=("kernel.",)) as tracer:
+        trace = cyclic_loop(32, iterations=2)
+        config = CacheConfig("L1", 1024, 2)
+        assert try_simulate_trace(trace, config, PolicyFactory("lru"), 0) is not None
+        assert try_simulate_trace(trace, config, PolicyFactory("random"), 0) is not None
+    events += tracer.events
+
+    return events
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return collect_events()
+
+
+@pytest.fixture(scope="module")
+def schema():
+    table = golden_schema()
+    assert table, "could not parse the event table out of OBSERVABILITY.md"
+    return table
+
+
+def test_every_emitted_kind_is_documented(observed, schema):
+    emitted = {e["kind"] for e in observed}
+    undocumented = emitted - set(schema)
+    assert not undocumented, f"undocumented event kinds: {sorted(undocumented)}"
+
+
+def test_every_documented_kind_is_emitted(observed, schema):
+    emitted = {e["kind"] for e in observed}
+    unexercised = set(schema) - emitted
+    assert not unexercised, f"documented but never emitted: {sorted(unexercised)}"
+
+
+def test_event_fields_match_the_table(observed, schema):
+    seen_fields: dict[str, set[str]] = {}
+    for event in observed:
+        kind = event["kind"]
+        fields = set(event) - {"seq", "kind"}
+        seen_fields.setdefault(kind, set()).update(fields)
+        if kind in OPEN_KINDS:
+            continue
+        extra = fields - schema[kind]
+        assert not extra, f"{kind} carries undocumented fields: {sorted(extra)}"
+        missing = schema[kind] - fields - OPTIONAL_FIELDS.get(kind, set())
+        assert not missing, f"{kind} is missing documented fields: {sorted(missing)}"
+    for kind, documented in schema.items():
+        never_seen = documented - seen_fields[kind]
+        assert not never_seen, (
+            f"{kind}: documented fields never emitted: {sorted(never_seen)}"
+        )
+
+
+def test_every_event_has_monotone_seq_and_kind(observed):
+    assert all("seq" in e and "kind" in e for e in observed)

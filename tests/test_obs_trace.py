@@ -137,6 +137,94 @@ class TestInstrumentation:
         assert traced_infer.accesses == plain_infer.accesses
 
 
+class TestIngest:
+    def test_ingest_rebases_seq_onto_the_parent_counter(self):
+        parent = Tracer()
+        parent.emit("runner.scheduled", cells=2)
+        worker = [
+            {"seq": 1, "kind": "span.start", "span": "cell"},
+            {"seq": 2, "kind": "span.end", "span": "cell"},
+        ]
+        assert parent.ingest(worker) == 2
+        assert [e["seq"] for e in parent.events] == [1, 2, 3]
+        # The source events are not mutated.
+        assert worker[0]["seq"] == 1
+
+    def test_ingest_applies_the_include_filter(self):
+        parent = Tracer(include=("span.",))
+        accepted = parent.ingest([
+            {"seq": 1, "kind": "span.start", "span": "cell"},
+            {"seq": 2, "kind": "cache.hit", "tag": 0},
+        ])
+        assert accepted == 1
+        assert [e["kind"] for e in parent.events] == ["span.start"]
+
+    def test_ingest_does_not_double_count_event_metrics(self):
+        """The worker store already counted events.<kind>; the runner
+        merges that snapshot separately.  Re-counting on ingest would
+        break the serial == parallel metrics property."""
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.DEFAULT.reset()
+        parent = Tracer()
+        parent.ingest([{"seq": 1, "kind": "span.start", "span": "cell"}])
+        counters = obs_metrics.DEFAULT.snapshot()["counters"]
+        assert "events.span.start" not in counters
+
+    def test_ingest_feeds_the_sink(self):
+        seen = []
+        parent = Tracer(keep_events=False, sink=seen.append)
+        parent.ingest([{"seq": 9, "kind": "runner.cell", "index": 0}])
+        assert parent.events == []
+        assert seen[0]["kind"] == "runner.cell"
+        assert seen[0]["seq"] == 1
+
+
+class TestJsonlWriter:
+    def test_context_manager_closes_and_flushes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs_trace.JsonlWriter(path) as writer:
+            writer({"seq": 1, "kind": "oracle.query"})
+            assert not writer.closed
+        assert writer.closed
+        assert read_jsonl(path) == [{"seq": 1, "kind": "oracle.query"}]
+
+    def test_flush_every_bounds_unflushed_tail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = obs_trace.JsonlWriter(path, flush_every=2)
+        writer({"seq": 1, "kind": "a"})
+        writer({"seq": 2, "kind": "b"})  # hits the flush boundary
+        writer({"seq": 3, "kind": "c"})  # may sit in the buffer
+        on_disk = read_jsonl(path)
+        assert len(on_disk) >= 2
+        writer.close()
+        assert len(read_jsonl(path)) == 3
+
+    def test_closed_even_when_the_block_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with pytest.raises(RuntimeError):
+            with obs_trace.JsonlWriter(path) as writer:
+                writer({"seq": 1, "kind": "a"})
+                raise RuntimeError("boom")
+        assert writer.closed
+        assert read_jsonl(path) == [{"seq": 1, "kind": "a"}]
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = obs_trace.JsonlWriter(tmp_path / "run.jsonl")
+        writer.close()
+        writer.close()
+        assert writer.closed
+
+    def test_works_as_a_tracer_sink(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs_trace.JsonlWriter(path) as sink:
+            with tracing(keep_events=False, sink=sink, include=("oracle.",)):
+                oracle = SimulatedSetOracle(get("lru", 2))
+                oracle.count_misses([0, 1], [0, 5])
+        events = read_jsonl(path)
+        assert [e["kind"] for e in events] == ["oracle.query"]
+
+
 class TestTraceFiles:
     def test_jsonl_round_trip(self, tmp_path):
         events = [

@@ -6,6 +6,9 @@ import pytest
 
 from repro.cache import CacheConfig
 from repro.eval import cache_size_sweep, miss_ratio_matrix
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs import trace as obs_trace
 from repro.runner import (
     ExperimentRunner,
     SimCell,
@@ -182,3 +185,122 @@ class TestParallelBitIdentical:
             trace, [1024, 4096], ["lru", "random"], jobs=2, memoize=False
         )
         assert serial == parallel
+
+
+class TestObservabilityMerge:
+    """Worker metrics/events are merged back into the parent process."""
+
+    CONFIG = CacheConfig("L2", 16 * 1024, 8)
+
+    def _cells(self):
+        traces = workload_suite(
+            cache_lines=self.CONFIG.num_sets * self.CONFIG.ways, seed=0
+        )[:3]
+        return [
+            SimCell.make(trace, self.CONFIG, policy, seed=1)
+            for policy in ("lru", "plru", "fifo")
+            for trace in traces
+        ]
+
+    def _run(self, jobs, tracer_include=None):
+        obs_metrics.DEFAULT.reset()
+        obs_spans.reset()
+        clear_memo()
+        cells = self._cells()
+        labels = [cell.label for cell in cells]
+        if tracer_include is not None:
+            with obs_trace.tracing(include=tracer_include) as tracer:
+                ExperimentRunner(jobs=jobs, chunk_size=2).map(
+                    simulate_cell, cells, labels=labels
+                )
+            events = list(tracer.events)
+        else:
+            ExperimentRunner(jobs=jobs, chunk_size=2).map(
+                simulate_cell, cells, labels=labels
+            )
+            events = []
+        return obs_metrics.DEFAULT.snapshot(), events
+
+    def test_parallel_metrics_equal_serial_modulo_timers(self):
+        """The acceptance property: --jobs N counters == jobs=0 counters
+        (except the per-source cell counters), observation counts too."""
+        serial, _ = self._run(jobs=0)
+        parallel, _ = self._run(jobs=3)
+
+        def comparable(snapshot):
+            return {
+                key: value
+                for key, value in snapshot["counters"].items()
+                if not key.startswith("runner.cells.")
+            }
+
+        assert comparable(serial) == comparable(parallel)
+        assert serial["counters"]["runner.cells.serial"] == len(self._cells())
+        assert parallel["counters"]["runner.cells.parallel"] == len(self._cells())
+        serial_counts = {
+            key: value["count"] for key, value in serial["observations"].items()
+        }
+        parallel_counts = {
+            key: value["count"] for key, value in parallel["observations"].items()
+        }
+        assert serial_counts == parallel_counts
+
+    def test_parallel_trace_matches_serial_event_mix(self):
+        include = ("runner.", "span.", "kernel.", "oracle.")
+        _, serial_events = self._run(jobs=0, tracer_include=include)
+        _, parallel_events = self._run(jobs=3, tracer_include=include)
+
+        def mix(events):
+            counts = {}
+            for event in events:
+                counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+            return counts
+
+        assert mix(serial_events) == mix(parallel_events)
+        seqs = [event["seq"] for event in parallel_events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_worker_spans_nest_under_the_parent_map_span(self):
+        _, events = self._run(jobs=3, tracer_include=("span.",))
+        starts = [e for e in events if e["kind"] == "span.start"]
+        map_span = next(e for e in starts if e["span"] == "runner.map")
+        cell_spans = [e for e in starts if e["span"] == "cell"]
+        assert len(cell_spans) == len(self._cells())
+        assert all(e["parent"] == map_span["id"] for e in cell_spans)
+        assert all(e["id"].startswith(map_span["id"] + ".w") for e in cell_spans)
+        assert len({e["id"] for e in cell_spans}) == len(cell_spans)
+
+    def test_trace_shard_dir_keeps_per_chunk_files(self, tmp_path):
+        obs_metrics.DEFAULT.reset()
+        obs_spans.reset()
+        clear_memo()
+        cells = self._cells()
+        with obs_trace.tracing(include=("runner.", "span.")) as tracer:
+            runner = ExperimentRunner(
+                jobs=3, chunk_size=2, trace_shard_dir=tmp_path / "shards"
+            )
+            runner.map(simulate_cell, cells, labels=[c.label for c in cells])
+        shards = sorted((tmp_path / "shards").glob("shard-*.jsonl"))
+        assert shards, "no shard files written"
+        shard_events = [
+            event for shard in shards for event in obs_trace.read_jsonl(shard)
+        ]
+        # runner.cell is recorded parent-side; the shards hold the
+        # worker-side view of the same work — one "cell" span per cell.
+        def cell_spans(events):
+            return [
+                e for e in events
+                if e["kind"] == "span.start" and e["span"] == "cell"
+            ]
+
+        assert len(cell_spans(shard_events)) == len(cells)
+        assert len(cell_spans(tracer.events)) == len(cells)
+
+    def test_fallback_path_still_counts_every_cell(self):
+        obs_metrics.DEFAULT.reset()
+        runner = ExperimentRunner(jobs=2, chunk_size=1, retries=1)
+        assert runner.map(_poisoned_in_worker, [1, 2, 3]) == [101, 102, 103]
+        counters = obs_metrics.DEFAULT.snapshot()["counters"]
+        assert counters["runner.cells.fallback"] == 3
+        assert counters["runner.chunk_retries"] >= 3
