@@ -9,6 +9,7 @@ Subcommands mirror the library's two halves:
 * ``predictability`` — evict/fill metrics table;
 * ``query`` — run one CacheQuery-notation access sequence;
 * ``trace`` — replay/filter a JSONL trace file written by ``--trace``;
+* ``cache`` — inspect/warm/clear the on-disk automaton store;
 * ``report`` — summarize or diff ``*.ledger.json`` run manifests.
 
 The measurement-driving subcommands accept ``--trace FILE`` (stream
@@ -269,6 +270,71 @@ def _add_kernel_options(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.kernels import store
+
+    previous_dir = None if args.dir is None else store.cache_dir()
+    if args.dir is not None:
+        store.set_cache_dir(args.dir)
+    try:
+        if args.action == "stats":
+            info = store.stats()
+            rows = [
+                [
+                    entry["file"],
+                    entry["schema"],
+                    "yes" if entry["current"] else "stale",
+                    entry["bytes"],
+                ]
+                for entry in info["artifacts"]
+            ]
+            print(
+                format_table(
+                    ["artifact", "schema", "current", "bytes"],
+                    rows,
+                    title=f"automaton store @ {info['dir']}",
+                )
+            )
+            print(
+                f"entries: {info['entries']} ({info['stale_entries']} stale), "
+                f"total {info['total_bytes']} bytes, "
+                f"schema v{info['schema_version']}, "
+                f"{'enabled' if info['enabled'] else 'disabled'}"
+            )
+            return 0
+        if args.action == "clear":
+            removed = store.clear(stale_only=args.stale_only)
+            which = "stale " if args.stale_only else ""
+            print(f"removed {removed} {which}artifact(s) from {store.cache_dir()}")
+            return 0
+        # warm: resolve + persist each policy's automaton.
+        names = args.policies.split(",") if args.policies else available()
+        report = store.warm((name, (), args.ways) for name in names)
+        rows = [
+            [
+                entry["policy"],
+                entry["ways"],
+                entry["status"],
+                entry["states"],
+                f"{entry['seconds']:.3f}",
+            ]
+            for entry in report
+        ]
+        print(
+            format_table(
+                ["policy", "ways", "status", "states", "seconds"],
+                rows,
+                title=f"cache warm @ {store.cache_dir()}",
+            )
+        )
+        persisted = sum(1 for entry in report if entry["status"] == "persisted")
+        print(f"persisted {persisted}/{len(report)} automata")
+        return 0
+    finally:
+        if args.dir is not None:
+            store.set_cache_dir(previous_dir)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -361,6 +427,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--summary", action="store_true",
                        help="print per-kind event counts instead of events")
 
+    cache = sub.add_parser(
+        "cache",
+        help="manage the on-disk compiled-automaton store (.repro-cache/)",
+        description="Example: repro-cache cache warm --policies lru,plru "
+        "--ways 8, then repro-cache cache stats",
+    )
+    cache.add_argument("action", choices=("stats", "warm", "clear"),
+                       help="inspect, populate, or empty the artifact store")
+    cache.add_argument("--dir", default=None,
+                       help="store directory (default: $REPRO_CACHE_DIR or "
+                       "./.repro-cache)")
+    cache.add_argument("--policies", default=None,
+                       help="warm: comma-separated names (default: every "
+                       "registry policy; unsupported ones are reported)")
+    cache.add_argument("--ways", type=int, default=8,
+                       help="warm: associativity to compile at")
+    cache.add_argument("--stale-only", action="store_true",
+                       help="clear: only artifacts from other schema versions")
+
     report = sub.add_parser(
         "report",
         help="summarize or diff *.ledger.json run manifests",
@@ -383,6 +468,7 @@ _COMMANDS = {
     "predictability": _cmd_predictability,
     "query": _cmd_query,
     "trace": _cmd_trace,
+    "cache": _cmd_cache,
     "report": _cmd_report,
 }
 

@@ -344,13 +344,18 @@ class PermutationInference:
                     probe.append(rng.choice(pool))
             window = self.config.verify_window or len(probe)
             setup = self._prefix(ways) + establishment
+            # One simulation pass predicts every window at once: the
+            # prediction for window [start, end) is the difference of
+            # cumulative miss counts, identical (by determinism) to the
+            # old pair of fresh _predict() runs per window but costing
+            # O(len(probe)) instead of O(len(probe)^2 / window) work.
+            cumulative = self._predict_cumulative(ways, spec, establishment, probe)
             for start in range(0, len(probe), window):
-                chunk = probe[start : start + window]
-                measured = self.oracle.count_misses(setup + probe[:start], chunk)
-                predicted = self._predict(
-                    ways, spec, establishment, probe[:start] + chunk
-                ) - self._predict(ways, spec, establishment, probe[:start])
-                if measured != predicted:
+                end = min(start + window, len(probe))
+                measured = self.oracle.count_misses(
+                    setup + probe[:start], probe[start:end]
+                )
+                if measured != cumulative[end] - cumulative[start]:
                     return False
         return True
 
@@ -375,3 +380,35 @@ class PermutationInference:
             if not cache_set.access(block).hit:
                 misses += 1
         return misses
+
+    @staticmethod
+    def _predict_cumulative(
+        ways: int, spec: PermutationSpec, establishment: list[int], probe: list[int]
+    ) -> list[int]:
+        """Cumulative predicted misses: ``result[i]`` covers ``probe[:i]``.
+
+        One pass over the probe (kernel
+        :func:`~repro.kernels.sequence_hits_preloaded` when allowed,
+        interpreted otherwise) replaces a pair of :meth:`_predict` runs
+        per verification window.
+        """
+        preload = [establishment[ways - 1 - p] for p in range(ways)]
+        flags: tuple[bool, ...] | None = None
+        if kernels.kernel_allowed():
+            compiled = kernels.compiled_for_spec(spec)
+            if compiled is not None:
+                try:
+                    flags = kernels.sequence_hits_preloaded(compiled, preload, probe)
+                except KernelUnsupported:
+                    kernels.mark_spec_unsupported(spec)
+        if flags is None:
+            cache_set = CacheSet(ways, PermutationPolicy(ways, spec))
+            cache_set.preload(preload)
+            flags = tuple(cache_set.access(block).hit for block in probe)
+        cumulative = [0]
+        misses = 0
+        for hit in flags:
+            if not hit:
+                misses += 1
+            cumulative.append(misses)
+        return cumulative

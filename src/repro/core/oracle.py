@@ -130,6 +130,32 @@ class SimulatedSetOracle(MissCountOracle):
         self._note_measurement(len(setup), len(probe), misses)
         return misses
 
+    def count_misses_many(
+        self, queries: Sequence[tuple[Sequence[int], Sequence[int]]]
+    ) -> list[int]:
+        """Answer many ``(setup, probe)`` measurements in order.
+
+        On the compiled fast path the whole batch runs through one
+        automaton in a single engine call
+        (:func:`repro.kernels.count_misses_batch`); measurement results
+        and per-measurement cost accounting (``measurements``,
+        ``accesses``, ``oracle.*`` metrics and events) are bit-identical
+        to looping over :meth:`count_misses`.
+        """
+        queries = list(queries)
+        if len(queries) > 1 and kernels.kernel_allowed():
+            compiled = kernels.compiled_for(self._prototype)
+            if compiled is not None:
+                try:
+                    counts = kernels.count_misses_batch(compiled, queries)
+                except KernelUnsupported:
+                    kernels.mark_unsupported(self._prototype)
+                else:
+                    for (setup, probe), misses in zip(queries, counts):
+                        self._note_measurement(len(setup), len(probe), misses)
+                    return counts
+        return [self.count_misses(setup, probe) for setup, probe in queries]
+
 
 class VotingOracle(MissCountOracle):
     """Repeated-measurement wrapper that makes a noisy oracle reliable.
@@ -270,11 +296,41 @@ class CachingOracle(MissCountOracle):
     ) -> list[int]:
         """Answer a batch of ``(setup, probe)`` queries in order.
 
-        Duplicates within the batch are measured once; batching callers
-        (grid experiments dispatching whole query lists) get one code
-        path instead of hand-rolled loops.
+        Duplicates within the batch are measured once (later occurrences
+        are cache hits, exactly as in the sequential loop), and the
+        deduplicated misses are dispatched to the inner oracle's own
+        ``count_misses_many`` when it has one — for a
+        :class:`SimulatedSetOracle` that is one batched kernel call for
+        the whole list.  Results and hit/miss accounting are
+        bit-identical to looping over :meth:`count_misses`.
         """
-        return [self.count_misses(setup, probe) for setup, probe in queries]
+        queries = [(tuple(setup), tuple(probe)) for setup, probe in queries]
+        pending: dict[tuple, int] = {}
+        to_measure: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        hits = 0
+        for key in queries:
+            if key in self._cache or key in pending:
+                hits += 1
+            else:
+                pending[key] = len(to_measure)
+                to_measure.append(key)
+        self.cache_hits += hits
+        self.cache_misses += len(to_measure)
+        if hits:
+            obs_metrics.DEFAULT.incr("oracle.cache_hits", hits)
+        if to_measure:
+            obs_metrics.DEFAULT.incr("oracle.cache_misses", len(to_measure))
+            inner_many = getattr(self._inner, "count_misses_many", None)
+            if inner_many is not None:
+                measured = inner_many(to_measure)
+            else:
+                measured = [
+                    self._inner.count_misses(setup, probe)
+                    for setup, probe in to_measure
+                ]
+            for key, result in zip(to_measure, measured):
+                self._cache[key] = result
+        return [self._cache[key] for key in queries]
 
     def clear_cache(self) -> None:
         """Drop every memoized measurement and zero the hit/miss counters."""

@@ -49,14 +49,18 @@ from repro.kernels.automaton import (
     mark_unsupported,
 )
 from repro.kernels.engine import (
+    count_misses_batch,
     count_misses_kernel,
     count_misses_preloaded,
     sequence_hits,
+    sequence_hits_batch,
+    sequence_hits_preloaded,
     simulate_sequence,
     simulate_trace_direct,
     simulate_trace_kernel,
     try_simulate_trace,
 )
+from repro.kernels import store
 
 __all__ = [
     "DEFAULT_BUDGET",
@@ -70,10 +74,14 @@ __all__ = [
     "mark_factory_unsupported",
     "mark_spec_unsupported",
     "clear_compile_cache",
+    "count_misses_batch",
     "count_misses_kernel",
     "count_misses_preloaded",
     "sequence_hits",
+    "sequence_hits_batch",
+    "sequence_hits_preloaded",
     "simulate_sequence",
+    "store",
     "simulate_trace_direct",
     "simulate_trace_kernel",
     "try_simulate_trace",

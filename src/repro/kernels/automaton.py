@@ -28,6 +28,7 @@ simulator, which the kernel is bit-identical to by construction.
 
 from __future__ import annotations
 
+import time
 import weakref
 from collections import deque
 
@@ -79,6 +80,7 @@ class CompiledPolicy:
         "miss_next",
         "_ids",
         "_policies",
+        "_num_states",
     )
 
     def __init__(self, prototype: ReplacementPolicy, budget: int = DEFAULT_BUDGET) -> None:
@@ -99,6 +101,7 @@ class CompiledPolicy:
         self.budget = budget
         self._ids: dict = {key: 0}
         self._policies: list[ReplacementPolicy] = [root]
+        self._num_states = 1
         ways = self.ways
         self.hit_next: list[int] = [-1] * ways
         self.fill_next: list[int] = [-1] * ways
@@ -108,21 +111,81 @@ class CompiledPolicy:
     @property
     def num_states(self) -> int:
         """Number of states interned so far (grows with lazy expansion)."""
-        return len(self._policies)
+        return self._num_states
+
+    @property
+    def frozen(self) -> bool:
+        """True for automata rebuilt from serialized tables.
+
+        A frozen automaton carries no policy objects, so it cannot expand
+        further — which is fine, because only *complete* automata (every
+        transition filled in) are ever serialized.
+        """
+        return not self._policies
+
+    def is_complete(self) -> bool:
+        """True when every interned state's transitions are expanded."""
+        return (
+            min(self.hit_next, default=-1) >= 0
+            and min(self.fill_next, default=-1) >= 0
+            and min(self.miss_victim, default=-1) >= 0
+            and min(self.miss_next, default=-1) >= 0
+        )
+
+    def to_tables(self) -> dict:
+        """Flat ``array('i')`` buffers of the transition tables.
+
+        Only meaningful for complete automata (see
+        :meth:`repro.kernels.store.save`); ``-1`` placeholders would
+        deserialize into an automaton that cannot expand them.
+        """
+        from array import array
+
+        return {
+            "hit_next": array("i", self.hit_next),
+            "fill_next": array("i", self.fill_next),
+            "miss_victim": array("i", self.miss_victim),
+            "miss_next": array("i", self.miss_next),
+        }
+
+    @classmethod
+    def from_tables(
+        cls, ways: int, budget: int, num_states: int, tables: dict
+    ) -> "CompiledPolicy":
+        """Rebuild a complete automaton from its serialized flat tables.
+
+        The result is *frozen*: it has no policy objects to expand new
+        states from, and never needs any — completeness means the engine
+        never sees a ``-1`` entry.
+        """
+        compiled = cls.__new__(cls)
+        compiled.ways = ways
+        compiled.budget = budget
+        compiled._ids = {}
+        compiled._policies = []
+        compiled._num_states = num_states
+        # Plain lists: exactly what the BFS path builds, so the engine's
+        # inner loops are byte-for-byte the same on both origins.
+        compiled.hit_next = list(tables["hit_next"])
+        compiled.fill_next = list(tables["fill_next"])
+        compiled.miss_victim = list(tables["miss_victim"])
+        compiled.miss_next = list(tables["miss_next"])
+        return compiled
 
     def _intern(self, policy: ReplacementPolicy) -> int:
         key = policy.state_key()
         sid = self._ids.get(key)
         if sid is not None:
             return sid
-        if len(self._policies) >= self.budget:
+        if self._num_states >= self.budget:
             raise KernelUnsupported(
                 f"policy {type(policy).__name__} exceeds the kernel state "
                 f"budget of {self.budget} reachable states"
             )
-        sid = len(self._policies)
+        sid = self._num_states
         self._ids[key] = sid
         self._policies.append(policy)
+        self._num_states += 1
         ways = self.ways
         self.hit_next.extend([-1] * ways)
         self.fill_next.extend([-1] * ways)
@@ -133,6 +196,11 @@ class CompiledPolicy:
     # -- lazy expansion (called by the engine on a -1 table entry) --------
     def expand_hit(self, state: int, way: int) -> int:
         """Expand and memoize the ``hit@way`` transition of ``state``."""
+        if not self._policies:
+            raise KernelUnsupported(
+                "frozen automaton hit an unexpanded transition; the "
+                "serialized artifact was not complete"
+            )
         successor = self._policies[state].clone()
         successor.touch(way)
         next_state = self._intern(successor)
@@ -141,6 +209,11 @@ class CompiledPolicy:
 
     def expand_fill(self, state: int, way: int) -> int:
         """Expand and memoize the cold ``fill@way`` transition of ``state``."""
+        if not self._policies:
+            raise KernelUnsupported(
+                "frozen automaton hit an unexpanded transition; the "
+                "serialized artifact was not complete"
+            )
         successor = self._policies[state].clone()
         successor.fill(way)
         next_state = self._intern(successor)
@@ -154,6 +227,11 @@ class CompiledPolicy:
         is chosen by ``evict`` (which may mutate state, e.g. RRIP aging)
         and the incoming block is then filled into the victim way.
         """
+        if not self._policies:
+            raise KernelUnsupported(
+                "frozen automaton hit an unexpanded transition; the "
+                "serialized artifact was not complete"
+            )
         successor = self._policies[state].clone()
         victim = successor.evict()
         successor.fill(victim)
@@ -170,12 +248,12 @@ class CompiledPolicy:
         :class:`~repro.errors.KernelUnsupported` if the reachable space
         exceeds the budget.
         """
+        if not self._policies:  # frozen: complete by construction
+            return self._num_states
         ways = self.ways
         queue = deque(range(len(self._policies)))
-        visited = 0
         while queue:
             state = queue.popleft()
-            visited = max(visited, state)
             frontier_before = len(self._policies)
             for way in range(ways):
                 if self.hit_next[state * ways + way] < 0:
@@ -185,11 +263,14 @@ class CompiledPolicy:
             if self.miss_victim[state] < 0:
                 self.expand_miss(state)
             queue.extend(range(frontier_before, len(self._policies)))
-        return len(self._policies)
+        return self._num_states
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        origin = (
+            type(self._policies[0]).__name__ if self._policies else "frozen"
+        )
         return (
-            f"<CompiledPolicy {type(self._policies[0]).__name__} "
+            f"<CompiledPolicy {origin} "
             f"ways={self.ways} states={self.num_states}>"
         )
 
@@ -244,16 +325,79 @@ _INSTANCE_UNSUPPORTED: "weakref.WeakSet[ReplacementPolicy]" = weakref.WeakSet()
 _FACTORY_CACHE: dict[tuple, CompiledPolicy | None] = {}
 
 
+def _note_compile(source: str, kind: str, label: str, ways: int,
+                  compiled: "CompiledPolicy | None", seconds: float) -> None:
+    """Account one cache resolution: counters always, an event when cold.
+
+    ``source`` is ``"hit"`` (answered from the in-process cache),
+    ``"load"`` (deserialized from the on-disk artifact store), ``"miss"``
+    (BFS-compiled) or ``"unsupported"`` (the policy has no automaton).
+    Memory hits are counter-only — they run on the per-measurement hot
+    path; disk loads and fresh compiles additionally emit a
+    ``kernel.compile`` trace event when a (cold-event) tracer is active.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    obs_metrics.DEFAULT.incr(f"kernel.compile.{source}")
+    if source == "hit":
+        return
+    tracer = obs_trace.ACTIVE
+    if tracer is not None:
+        tracer.emit(
+            "kernel.compile",
+            source=source,
+            target=kind,
+            policy=label,
+            ways=ways,
+            states=compiled.num_states if compiled is not None else 0,
+            seconds=round(seconds, 6),
+        )
+
+
 def compiled_for(policy: ReplacementPolicy) -> CompiledPolicy | None:
-    """The (cached) automaton of a policy instance, or None if unsupported."""
+    """The (cached) automaton of a policy instance, or None if unsupported.
+
+    Resolution order is memory -> disk -> BFS: a registry-built instance
+    (stamped with its ``(name, params)`` provenance by
+    :class:`~repro.policies.registry.PolicyFactory`) and a
+    :class:`PermutationPolicy` (keyed by its spec) both reach the on-disk
+    artifact store through their canonical caches; anything else compiles
+    in-process as before.
+    """
     cached = _INSTANCE_CACHE.get(policy)
     if cached is not None:
+        _note_compile("hit", "instance", type(policy).__name__, policy.ways, cached, 0.0)
         return cached
     if policy in _INSTANCE_UNSUPPORTED:
+        _note_compile("hit", "instance", type(policy).__name__, policy.ways, None, 0.0)
         return None
-    try:
-        compiled = compile_policy(policy)
-    except KernelUnsupported:
+    # Canonical identities route through the shared (and disk-backed)
+    # caches so equivalent instances share one automaton per process.
+    compiled: CompiledPolicy | None
+    if isinstance(policy, PermutationPolicy):
+        compiled = compiled_for_spec(policy.spec)
+    else:
+        provenance = getattr(policy, "_registry_key", None)
+        if provenance is not None:
+            name, params = provenance
+            compiled = compiled_for_factory(name, params, policy.ways)
+        else:
+            start = time.perf_counter()
+            try:
+                compiled = compile_policy(policy)
+            except KernelUnsupported:
+                _INSTANCE_UNSUPPORTED.add(policy)
+                _note_compile(
+                    "unsupported", "instance", type(policy).__name__,
+                    policy.ways, None, time.perf_counter() - start,
+                )
+                return None
+            _note_compile(
+                "miss", "instance", type(policy).__name__, policy.ways,
+                compiled, time.perf_counter() - start,
+            )
+    if compiled is None:
         _INSTANCE_UNSUPPORTED.add(policy)
         return None
     _INSTANCE_CACHE[policy] = compiled
@@ -267,21 +411,47 @@ def compiled_for_factory(
 
     ``params`` is the sorted item tuple a :class:`SimCell` carries; a
     spec-parameterised permutation policy hashes through its frozen spec.
+    Consults the in-process cache, then the on-disk artifact store
+    (:mod:`repro.kernels.store`), then BFS-compiles.
     """
+    from repro.kernels import store
+
     key = (name, params, ways)
     if key in _FACTORY_CACHE:
+        _note_compile("hit", "factory", name, ways, _FACTORY_CACHE[key], 0.0)
         return _FACTORY_CACHE[key]
     factory = PolicyFactory(name, **dict(params))
     compiled: CompiledPolicy | None
     if not factory.deterministic:
+        # Randomized/adaptive policies have no automaton at all; count
+        # them apart from misses so "no compile missed the warm cache"
+        # assertions hold on grids that include them.
         compiled = None
+        _note_compile("unsupported", "factory", name, ways, None, 0.0)
     else:
-        try:
-            compiled = compile_policy(
-                factory.build(ways, set_index=0, shared=factory.create_shared(1))
+        start = time.perf_counter()
+        compiled = store.load(store.factory_key(name, params, ways))
+        if compiled is not None:
+            _note_compile(
+                "load", "factory", name, ways, compiled,
+                time.perf_counter() - start,
             )
-        except KernelUnsupported:
-            compiled = None
+        else:
+            try:
+                compiled = compile_policy(
+                    factory.build(ways, set_index=0, shared=factory.create_shared(1))
+                )
+            except KernelUnsupported:
+                compiled = None
+                _note_compile(
+                    "unsupported", "factory", name, ways, None,
+                    time.perf_counter() - start,
+                )
+            else:
+                _note_compile(
+                    "miss", "factory", name, ways, compiled,
+                    time.perf_counter() - start,
+                )
     _FACTORY_CACHE[key] = compiled
     return compiled
 
@@ -293,10 +463,29 @@ _SPEC_CACHE: dict[PermutationSpec, CompiledPolicy | None] = {}
 
 
 def compiled_for_spec(spec: PermutationSpec) -> CompiledPolicy | None:
-    """The (cached) automaton of a permutation spec, or None if unsupported."""
+    """The (cached) automaton of a permutation spec, or None if unsupported.
+
+    Memory -> disk -> BFS, like :func:`compiled_for_factory`; the disk
+    key is a content digest of the spec's permutation vectors.
+    """
+    from repro.kernels import store
+
     if spec in _SPEC_CACHE:
+        _note_compile("hit", "spec", "permutation-spec", spec.ways, _SPEC_CACHE[spec], 0.0)
         return _SPEC_CACHE[spec]
-    compiled = compile_policy(spec)
+    start = time.perf_counter()
+    compiled = store.load(store.spec_key(spec))
+    if compiled is not None:
+        _note_compile(
+            "load", "spec", "permutation-spec", spec.ways, compiled,
+            time.perf_counter() - start,
+        )
+    else:
+        compiled = compile_policy(spec)
+        _note_compile(
+            "miss", "spec", "permutation-spec", spec.ways, compiled,
+            time.perf_counter() - start,
+        )
     _SPEC_CACHE[spec] = compiled
     return compiled
 
@@ -318,8 +507,19 @@ def mark_spec_unsupported(spec: PermutationSpec) -> None:
 
 
 def clear_compile_cache() -> None:
-    """Drop every cached automaton (test hygiene)."""
+    """Fully reset in-process kernel compilation state (test hygiene).
+
+    Drops every cached automaton *and* every unsupported marker —
+    including the "blew the budget mid-run" ``mark_*_unsupported``
+    tombstones, so a policy that was marked off can compile again — and
+    forgets which artifacts this session already persisted to the
+    on-disk store (the store's files themselves are untouched; use
+    :func:`repro.kernels.store.clear` for those).
+    """
+    from repro.kernels import store
+
     _INSTANCE_CACHE.clear()
     _INSTANCE_UNSUPPORTED.clear()
     _FACTORY_CACHE.clear()
     _SPEC_CACHE.clear()
+    store.forget_persisted()

@@ -1,0 +1,436 @@
+"""On-disk artifact store for compiled policy automata.
+
+BFS-compiling an automaton is the kernel's dominant fixed cost — full
+8-way LRU interns 40 320 states of pure-Python cloning — and the
+in-memory caches in :mod:`repro.kernels.automaton` are per-process, so
+every CLI invocation, bench, and ``--jobs N`` worker used to pay it
+again.  This module persists *complete* automata (every transition
+expanded) to a repo-local ``.repro-cache/`` directory so the cost is
+paid once per machine instead of once per process:
+
+* **Keys** — :class:`StoreKey` canonicalizes ``(kind, identity, ways,
+  budget, schema_version)`` into a stable string; the file name is a
+  digest of it, so params tuples and permutation vectors of any size
+  key cleanly.  Bumping :data:`SCHEMA_VERSION` orphans old artifacts
+  (they are ignored and cleaned by :func:`clear`), never misreads them.
+* **Format** — a magic tag, a length-prefixed JSON header (schema, key,
+  ways, budget, num_states, per-table lengths, payload checksum), then
+  the four flat tables as raw ``array('i')`` buffers in a fixed order.
+  Writes go to a temp file in the same directory and ``os.replace`` in,
+  so readers never observe a partial artifact.
+* **Validation** — :func:`load` verifies magic, schema, key, lengths, a
+  blake2s payload checksum, and that every transition is in range for a
+  complete automaton.  Anything wrong means *recompile*: the corrupt
+  file is unlinked and ``None`` returned; the store never raises into
+  the kernel's compile path.
+
+The store is consulted by ``compiled_for_factory`` / ``compiled_for_spec``
+(memory -> disk -> BFS) and populated at explicit warm points — the
+parallel runner's pre-resolve step, the ``repro cache warm`` CLI, and
+the compile-cache bench — never on the lazy compile path, so one-shot
+CLI latency is unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from array import array
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import KernelUnsupported
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoreKey",
+    "factory_key",
+    "spec_key",
+    "cache_dir",
+    "set_cache_dir",
+    "store_enabled",
+    "set_store_enabled",
+    "store_disabled",
+    "artifact_path",
+    "save",
+    "load",
+    "ensure_persisted",
+    "forget_persisted",
+    "warm",
+    "stats",
+    "clear",
+]
+
+#: Bump on any change to the key canonicalization or file layout.  Old
+#: artifacts become invisible (different subdirectory), never misread.
+SCHEMA_VERSION = 1
+
+#: First bytes of every artifact file.
+MAGIC = b"RPRAUTO1"
+
+#: Tables serialized, in on-disk order.  ``hit_next``/``fill_next`` are
+#: ``num_states * ways`` long, ``miss_victim``/``miss_next`` ``num_states``.
+TABLE_NAMES = ("hit_next", "fill_next", "miss_victim", "miss_next")
+
+_ITEM = struct.calcsize("i")
+
+#: Environment override for the cache directory (CI, shared machines).
+ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Default directory name, created under the current working directory.
+DEFAULT_DIRNAME = ".repro-cache"
+
+_CACHE_DIR: Path | None = None
+_ENABLED = True
+
+#: Keys already persisted (or found on disk) this session, so warm
+#: points skip the fsync + checksum work on re-runs.  Cleared by
+#: :func:`forget_persisted` (and through it ``clear_compile_cache``).
+_PERSISTED: set[str] = set()
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """Canonical identity of one artifact: what was compiled, and how."""
+
+    kind: str  #: "factory" or "spec"
+    label: str  #: human-readable policy name for stats/events
+    canonical: str  #: full canonical key string (embedded in the header)
+
+    @property
+    def digest(self) -> str:
+        return hashlib.blake2s(self.canonical.encode()).hexdigest()[:24]
+
+    @property
+    def filename(self) -> str:
+        safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in self.label)
+        return f"{safe[:48]}-{self.digest}.autom"
+
+
+def factory_key(name: str, params: tuple, ways: int, budget: int | None = None) -> StoreKey:
+    """Key for a registry-named policy (the SimCell identity)."""
+    if budget is None:
+        from repro.kernels.automaton import DEFAULT_BUDGET
+
+        budget = DEFAULT_BUDGET
+    canonical = (
+        f"v{SCHEMA_VERSION}|factory|{name}|{params!r}|ways={ways}|budget={budget}"
+    )
+    return StoreKey(kind="factory", label=name, canonical=canonical)
+
+
+def spec_key(spec, budget: int | None = None) -> StoreKey:
+    """Key for a permutation spec: a content digest of its vectors."""
+    if budget is None:
+        from repro.kernels.automaton import DEFAULT_BUDGET
+
+        budget = DEFAULT_BUDGET
+    canonical = (
+        f"v{SCHEMA_VERSION}|spec|ways={spec.ways}|hit={spec.hit_perms!r}"
+        f"|miss={spec.miss_perm!r}|budget={budget}"
+    )
+    return StoreKey(kind="spec", label="permutation-spec", canonical=canonical)
+
+
+# -- directory / enablement --------------------------------------------------
+def cache_dir() -> Path:
+    """The artifact directory: explicit > $REPRO_CACHE_DIR > ./.repro-cache."""
+    if _CACHE_DIR is not None:
+        return _CACHE_DIR
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.cwd() / DEFAULT_DIRNAME
+
+
+def set_cache_dir(path: str | os.PathLike | None) -> None:
+    """Override the artifact directory (None restores the default rule)."""
+    global _CACHE_DIR
+    _CACHE_DIR = Path(path) if path is not None else None
+    _PERSISTED.clear()
+
+
+def store_enabled() -> bool:
+    """True when the on-disk store may be read or written."""
+    return _ENABLED
+
+
+def set_store_enabled(enabled: bool) -> None:
+    """Globally enable or disable the on-disk store (memory caches stay)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextlib.contextmanager
+def store_disabled():
+    """Temporarily bypass the disk store (cold-path benchmarks, tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def _schema_dir() -> Path:
+    return cache_dir() / f"v{SCHEMA_VERSION}"
+
+
+def artifact_path(key: StoreKey) -> Path:
+    """Where ``key``'s artifact lives (whether or not it exists yet)."""
+    return _schema_dir() / key.filename
+
+
+# -- serialization -----------------------------------------------------------
+def save(key: StoreKey, compiled) -> bool:
+    """Persist a *complete* automaton atomically; True on success.
+
+    The automaton is closed with ``expand_all()`` first — only complete
+    tables round-trip (a ``-1`` placeholder could never be expanded by
+    the frozen automaton :func:`load` rebuilds).  A policy that blows
+    its budget, a read-only cache directory, or a disabled store all
+    return False; persistence is an optimization, never a requirement.
+    """
+    if not _ENABLED:
+        return False
+    try:
+        compiled.expand_all()
+    except KernelUnsupported:
+        return False
+    tables = compiled.to_tables()
+    payload = b"".join(tables[name].tobytes() for name in TABLE_NAMES)
+    header = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "key": key.canonical,
+            "kind": key.kind,
+            "label": key.label,
+            "ways": compiled.ways,
+            "budget": compiled.budget,
+            "num_states": compiled.num_states,
+            "lengths": {name: len(tables[name]) for name in TABLE_NAMES},
+            "checksum": hashlib.blake2s(payload).hexdigest(),
+        },
+        sort_keys=True,
+    ).encode()
+    path = artifact_path(key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(MAGIC)
+                handle.write(struct.pack(">I", len(header)))
+                handle.write(header)
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+    except OSError:
+        return False
+    _PERSISTED.add(key.canonical)
+    return True
+
+
+def load(key: StoreKey):
+    """Deserialize ``key``'s automaton, or None (missing/stale/corrupt).
+
+    Every failure mode — wrong magic, truncation, schema or key
+    mismatch, bad checksum, out-of-range transitions — degrades to
+    "recompile": corrupt files are unlinked, stale ones left for their
+    own schema, and None is returned.  Never raises into the caller.
+    """
+    if not _ENABLED:
+        return None
+    from repro.kernels.automaton import CompiledPolicy
+
+    path = artifact_path(key)
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return None
+
+    def corrupt():
+        with contextlib.suppress(OSError):
+            path.unlink()
+        return None
+
+    if not blob.startswith(MAGIC):
+        return corrupt()
+    offset = len(MAGIC)
+    if len(blob) < offset + 4:
+        return corrupt()
+    (header_len,) = struct.unpack_from(">I", blob, offset)
+    offset += 4
+    try:
+        header = json.loads(blob[offset : offset + header_len])
+    except ValueError:
+        return corrupt()
+    offset += header_len
+    if not isinstance(header, dict):
+        return corrupt()
+    if header.get("schema") != SCHEMA_VERSION or header.get("key") != key.canonical:
+        # A hash collision or a mis-filed artifact; not ours to delete.
+        return None
+    ways = header.get("ways")
+    num_states = header.get("num_states")
+    lengths = header.get("lengths")
+    if (
+        not isinstance(ways, int)
+        or not isinstance(num_states, int)
+        or ways <= 0
+        or num_states <= 0
+        or not isinstance(lengths, dict)
+    ):
+        return corrupt()
+    expected = {
+        "hit_next": num_states * ways,
+        "fill_next": num_states * ways,
+        "miss_victim": num_states,
+        "miss_next": num_states,
+    }
+    if {name: lengths.get(name) for name in TABLE_NAMES} != expected:
+        return corrupt()
+    payload = blob[offset:]
+    if len(payload) != sum(expected.values()) * _ITEM:
+        return corrupt()
+    if hashlib.blake2s(payload).hexdigest() != header.get("checksum"):
+        return corrupt()
+    tables = {}
+    cursor = 0
+    for name in TABLE_NAMES:
+        size = expected[name] * _ITEM
+        table = array("i")
+        table.frombytes(payload[cursor : cursor + size])
+        cursor += size
+        tables[name] = table
+    # Complete-automaton invariants: every transition targets a real
+    # state, every victim a real way.
+    for name in ("hit_next", "fill_next", "miss_next"):
+        if any(entry < 0 or entry >= num_states for entry in tables[name]):
+            return corrupt()
+    if any(way < 0 or way >= ways for way in tables["miss_victim"]):
+        return corrupt()
+    compiled = CompiledPolicy.from_tables(
+        ways, header.get("budget", num_states), num_states, tables
+    )
+    _PERSISTED.add(key.canonical)
+    return compiled
+
+
+def ensure_persisted(key: StoreKey, compiled) -> bool:
+    """Persist ``compiled`` under ``key`` unless already done this session."""
+    if not _ENABLED:
+        return False
+    if key.canonical in _PERSISTED and artifact_path(key).exists():
+        return True
+    return save(key, compiled)
+
+
+def forget_persisted() -> None:
+    """Drop the session's persisted-keys memo (files stay on disk)."""
+    _PERSISTED.clear()
+
+
+def warm(entries) -> list[dict]:
+    """Resolve and persist a batch of named automata; per-entry report.
+
+    ``entries`` is an iterable of ``(name, params, ways)`` triples (the
+    SimCell identity).  Duplicates are warmed once.  This is the shared
+    warm point behind the parallel runner's pre-resolve step and the
+    ``repro cache warm`` CLI: after it returns, a forked worker (or any
+    later process pointed at the same cache dir) resolves these automata
+    with zero ``kernel.compile.miss``.
+    """
+    import time as _time
+
+    from repro.kernels.automaton import compiled_for_factory
+
+    report = []
+    seen = set()
+    for name, params, ways in entries:
+        identity = (name, tuple(params), ways)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        start = _time.perf_counter()
+        compiled = compiled_for_factory(name, tuple(params), ways)
+        if compiled is None:
+            status, states = "unsupported", 0
+        else:
+            persisted = ensure_persisted(factory_key(name, tuple(params), ways), compiled)
+            status = "persisted" if persisted else "memory-only"
+            states = compiled.num_states
+        report.append(
+            {
+                "policy": name,
+                "params": dict(params),
+                "ways": ways,
+                "status": status,
+                "states": states,
+                "seconds": round(_time.perf_counter() - start, 6),
+            }
+        )
+    return report
+
+
+# -- maintenance -------------------------------------------------------------
+def stats() -> dict:
+    """Inventory of the store: per-artifact and aggregate sizes."""
+    root = cache_dir()
+    entries = []
+    stale = 0
+    if root.is_dir():
+        for path in sorted(root.glob("v*/*.autom")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            current = path.parent.name == f"v{SCHEMA_VERSION}"
+            if not current:
+                stale += 1
+            entries.append(
+                {
+                    "file": str(path.relative_to(root)),
+                    "bytes": size,
+                    "schema": path.parent.name,
+                    "current": current,
+                }
+            )
+    return {
+        "dir": str(root),
+        "schema_version": SCHEMA_VERSION,
+        "enabled": _ENABLED,
+        "entries": len(entries),
+        "stale_entries": stale,
+        "total_bytes": sum(entry["bytes"] for entry in entries),
+        "artifacts": entries,
+    }
+
+
+def clear(stale_only: bool = False) -> int:
+    """Delete artifacts (all, or only non-current schemas); returns count."""
+    root = cache_dir()
+    removed = 0
+    if not root.is_dir():
+        return removed
+    for path in root.glob("v*/*.autom"):
+        if stale_only and path.parent.name == f"v{SCHEMA_VERSION}":
+            continue
+        with contextlib.suppress(OSError):
+            path.unlink()
+            removed += 1
+    for subdir in root.glob("v*"):
+        with contextlib.suppress(OSError):
+            subdir.rmdir()  # only succeeds when empty
+    _PERSISTED.clear()
+    return removed

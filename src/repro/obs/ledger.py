@@ -316,6 +316,9 @@ KEY_COUNTERS = (
     "oracle.cache_hits",
     "kernel.calls",
     "kernel.accesses",
+    "kernel.compile.hit",
+    "kernel.compile.load",
+    "kernel.compile.miss",
     "runner.chunk_retries",
 )
 

@@ -200,7 +200,15 @@ class PolicyFactory:
         rng: SeededRng | None = None,
     ) -> ReplacementPolicy:
         """Construct the policy instance for one set."""
-        return self._builder(ways, set_index, shared, rng, self.params)
+        policy = self._builder(ways, set_index, shared, rng, self.params)
+        try:
+            # Provenance stamp: lets the kernel's compiled_for() route a
+            # registry-built instance to the shared per-name automaton
+            # cache (and through it, the on-disk artifact store).
+            policy._registry_key = (self.name, tuple(sorted(self.params.items())))
+        except (AttributeError, TypeError):  # __slots__ or unhashable params
+            pass
+        return policy
 
     @property
     def deterministic(self) -> bool:

@@ -141,6 +141,29 @@ def simulate_cell(cell: SimCell) -> CellResult:
     return CellResult(policy=cell.policy, trace=cell.trace.name, stats=stats)
 
 
+def _prewarm_automata(cells: Sequence[SimCell]) -> None:
+    """Resolve and persist the automata a parallel batch needs, once.
+
+    Runs in the parent before the pool round: each unique
+    ``(policy, params, ways)`` is compiled (or disk-loaded) here and
+    persisted to the artifact store, so forked workers inherit the warm
+    in-memory cache and spawned/later workers hit the warm disk cache —
+    every unique automaton of a ``--jobs N`` grid is BFS-compiled at
+    most once machine-wide (``kernel.compile.miss`` stays 0 in warm
+    runs).  Skipped when the kernel may not run; a store that cannot
+    write degrades to fork-inherited memory warmth only.
+    """
+    from repro import kernels
+    from repro.kernels import store
+
+    if not kernels.kernel_allowed():
+        return
+    entries = {(cell.policy, cell.params, cell.config.ways) for cell in cells}
+    ordered = sorted(entries, key=lambda entry: (entry[0], repr(entry[1]), entry[2]))
+    with obs_spans.span("prewarm", label=f"{len(ordered)} automata"):
+        store.warm(ordered)
+
+
 #: Process-wide memoization cache: memo_key -> CellResult.
 _MEMO: dict[tuple, CellResult] = {}
 
@@ -174,6 +197,8 @@ def run_sim_cells(
         runner = ExperimentRunner(jobs=jobs)
     cells = list(cells)
     if not memoize:
+        if runner.parallel and cells:
+            _prewarm_automata(cells)
         return runner.map(simulate_cell, cells, labels=[cell.label for cell in cells])
     results: dict[int, CellResult] = {}
     fresh: list[SimCell] = []
@@ -189,6 +214,8 @@ def run_sim_cells(
                 fresh.append(cell)
                 fresh_keys.append(key)
             waiters.setdefault(key, []).append(index)
+    if runner.parallel and fresh:
+        _prewarm_automata(fresh)
     computed = runner.map(simulate_cell, fresh, labels=[cell.label for cell in fresh])
     for key, result in zip(fresh_keys, computed):
         _MEMO[key] = result

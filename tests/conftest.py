@@ -21,6 +21,21 @@ DETERMINISTIC_POW2_ONLY = ["plru"]
 RANDOMIZED = ["random", "bip", "dip", "brrip", "drrip"]
 
 
+@pytest.fixture(autouse=True)
+def _isolated_automaton_store(tmp_path_factory):
+    """Route the on-disk automaton store to a per-test temp directory.
+
+    The store defaults to a repo-local ``.repro-cache/``; tests must
+    neither read a developer's warm cache (hiding cold-path bugs) nor
+    litter the working tree.
+    """
+    from repro.kernels import store
+
+    store.set_cache_dir(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    store.set_cache_dir(None)
+
+
 @pytest.fixture
 def l1_config() -> CacheConfig:
     """A small L1-like configuration: 4 KiB, 4-way, 16 sets."""

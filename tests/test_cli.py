@@ -187,6 +187,47 @@ class TestObservability:
         assert counters_a == counters_b
 
 
+class TestCacheCommand:
+    def test_cache_warm_then_stats(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        code = main(
+            ["cache", "warm", "--dir", str(store_dir),
+             "--policies", "lru,fifo,random", "--ways", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "persisted 2/3 automata" in out
+        assert "unsupported" in out  # random has no automaton
+        assert main(["cache", "stats", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert "lru" in out and "fifo" in out
+
+    def test_cache_clear(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(["cache", "warm", "--dir", str(store_dir),
+                     "--policies", "plru", "--ways", "4"]) == 0
+        assert main(["cache", "clear", "--dir", str(store_dir)]) == 0
+        assert "removed 1 artifact(s)" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", str(store_dir)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_stats_on_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "nope")]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_dir_override_is_restored(self, tmp_path):
+        from repro.kernels import store
+
+        before = store.cache_dir()
+        assert main(["cache", "stats", "--dir", str(tmp_path / "elsewhere")]) == 0
+        assert store.cache_dir() == before
+
+    def test_cache_action_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
 class TestLedgerAndReport:
     def _run_with_metrics(self, tmp_path, name="run"):
         metrics_file = tmp_path / f"{name}.metrics.json"

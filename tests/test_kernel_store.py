@@ -1,0 +1,420 @@
+"""Tests for the on-disk automaton artifact store and batched engines."""
+
+import struct
+
+import pytest
+
+from repro.cache.set import CacheSet
+from repro.core import SimulatedSetOracle
+from repro.core.distinguish import response, responses
+from repro.core.oracle import CachingOracle
+from repro.kernels import (
+    clear_compile_cache,
+    compile_policy,
+    compiled_for,
+    compiled_for_factory,
+    compiled_for_spec,
+    count_misses_batch,
+    count_misses_kernel,
+    kernel_disabled,
+    mark_factory_unsupported,
+    mark_spec_unsupported,
+    mark_unsupported,
+    sequence_hits,
+    sequence_hits_batch,
+    sequence_hits_preloaded,
+    store,
+)
+from repro.obs import metrics as obs_metrics
+from repro.policies import LruPolicy, lru_spec, make_policy
+from repro.runner import ExperimentRunner, clear_memo, run_sim_cells
+from repro.runner.cells import SimCell
+from repro.cache import CacheConfig
+from repro.workloads.trace import Trace
+
+from tests.conftest import all_deterministic_policies
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+def _counters():
+    return obs_metrics.DEFAULT.snapshot()["counters"]
+
+
+WAYS = 3
+PROBE_QUERIES = [
+    ([], [1, 2, 1, 3, 2, 4]),
+    ([1, 2, 3], [4, 1, 5, 2, 3]),
+    ([1, 2, 3], [3, 2, 1, 4, 4]),
+    ([5, 6], [5, 7, 6, 8, 5]),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name", [name for name, _ in all_deterministic_policies(WAYS)]
+    )
+    def test_round_trip_equals_in_memory(self, name):
+        compiled = compiled_for_factory(name, (), WAYS)
+        assert compiled is not None
+        key = store.factory_key(name, (), WAYS)
+        assert store.save(key, compiled)  # expand_all happens inside
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.frozen and loaded.is_complete()
+        assert loaded.ways == compiled.ways
+        assert loaded.num_states == compiled.num_states
+        assert loaded.hit_next == compiled.hit_next
+        assert loaded.fill_next == compiled.fill_next
+        assert loaded.miss_victim == compiled.miss_victim
+        assert loaded.miss_next == compiled.miss_next
+        for setup, probe in PROBE_QUERIES:
+            assert count_misses_kernel(loaded, setup, probe) == count_misses_kernel(
+                compiled, setup, probe
+            )
+
+    def test_spec_round_trip(self):
+        spec = lru_spec(4)
+        compiled = compiled_for_spec(spec)
+        key = store.spec_key(spec)
+        assert store.save(key, compiled)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.num_states == compiled.expand_all() == 24
+        assert sequence_hits(loaded, [1, 2, 3, 4], [5, 1, 2, 6]) == sequence_hits(
+            compiled, [1, 2, 3, 4], [5, 1, 2, 6]
+        )
+
+    def test_frozen_automaton_cannot_expand(self):
+        compiled = compile_policy("lru", WAYS)
+        key = store.factory_key("lru", (), WAYS)
+        assert store.save(key, compiled)
+        loaded = store.load(key)
+        assert loaded.frozen
+        # Complete tables mean the engine never reaches expand_*; calling
+        # them directly is the defensive error path.
+        from repro.errors import KernelUnsupported
+
+        with pytest.raises(KernelUnsupported):
+            loaded.expand_hit(0, 0)
+
+    def test_save_refuses_over_budget_policy(self):
+        compiled = compile_policy(LruPolicy(4), budget=3)
+        assert not store.save(store.factory_key("lru", (), 4, budget=3), compiled)
+
+
+class TestCorruptionFallback:
+    def _saved_key(self):
+        key = store.factory_key("fifo", (), WAYS)
+        assert store.save(key, compiled_for_factory("fifo", (), WAYS))
+        return key
+
+    def test_missing_file_returns_none(self):
+        assert store.load(store.factory_key("lru", (), WAYS)) is None
+
+    def test_truncated_file_recompiles(self):
+        key = self._saved_key()
+        path = store.artifact_path(key)
+        path.write_bytes(path.read_bytes()[:-7])
+        assert store.load(key) is None
+        assert not path.exists()  # corrupt entries are unlinked
+        assert compiled_for_factory("fifo", (), WAYS) is not None
+
+    def test_flipped_payload_byte_fails_checksum(self):
+        key = self._saved_key()
+        path = store.artifact_path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.load(key) is None
+        assert not path.exists()
+
+    def test_bad_magic_recompiles(self):
+        key = self._saved_key()
+        path = store.artifact_path(key)
+        path.write_bytes(b"garbage" + path.read_bytes())
+        assert store.load(key) is None
+
+    def test_garbage_header_recompiles(self):
+        key = self._saved_key()
+        path = store.artifact_path(key)
+        blob = path.read_bytes()
+        path.write_bytes(store.MAGIC + struct.pack(">I", 10) + blob[len(store.MAGIC) + 4 :])
+        assert store.load(key) is None
+
+    def test_schema_bump_ignores_old_artifact(self, monkeypatch):
+        key = self._saved_key()
+        old_path = store.artifact_path(key)
+        assert store.load(key) is not None
+        monkeypatch.setattr(store, "SCHEMA_VERSION", store.SCHEMA_VERSION + 1)
+        bumped = store.factory_key("fifo", (), WAYS)
+        assert bumped.canonical != key.canonical
+        assert store.load(bumped) is None  # lives in a different subdir
+        # The old file is untouched (stale, not corrupt).
+        assert old_path.exists()
+        # stats() reports it stale; clear(stale_only=True) removes it.
+        assert store.stats()["stale_entries"] == 1
+        assert store.clear(stale_only=True) == 1
+        assert not old_path.exists()
+
+    def test_key_mismatch_leaves_file_alone(self):
+        key = self._saved_key()
+        other = store.factory_key("lru", (), WAYS)
+        path = store.artifact_path(key)
+        path.rename(store.artifact_path(other))
+        assert store.load(other) is None
+        assert store.artifact_path(other).exists()
+
+
+class TestStoreConsultation:
+    def test_factory_consults_disk_across_cache_clears(self):
+        obs_metrics.DEFAULT.reset()
+        compiled = compiled_for_factory("plru", (), 4)
+        assert _counters()["kernel.compile.miss"] == 1
+        store.save(store.factory_key("plru", (), 4), compiled)
+        clear_compile_cache()
+        obs_metrics.DEFAULT.reset()
+        again = compiled_for_factory("plru", (), 4)
+        assert again is not None and again.frozen
+        counters = _counters()
+        assert counters.get("kernel.compile.miss", 0) == 0
+        assert counters["kernel.compile.load"] == 1
+        # Second lookup is a pure memory hit.
+        assert compiled_for_factory("plru", (), 4) is again
+        assert _counters()["kernel.compile.hit"] == 1
+
+    def test_spec_consults_disk(self):
+        spec = lru_spec(WAYS)
+        store.save(store.spec_key(spec), compiled_for_spec(spec))
+        clear_compile_cache()
+        obs_metrics.DEFAULT.reset()
+        assert compiled_for_spec(spec).frozen
+        assert _counters()["kernel.compile.load"] == 1
+
+    def test_loaded_automaton_measures_identically(self):
+        policy = make_policy("srrip", WAYS)
+        with kernel_disabled():
+            reference = SimulatedSetOracle(make_policy("srrip", WAYS))
+            expected = [
+                reference.count_misses(setup, probe) for setup, probe in PROBE_QUERIES
+            ]
+        store.save(
+            store.factory_key("srrip", (), WAYS),
+            compiled_for_factory("srrip", (), WAYS),
+        )
+        clear_compile_cache()
+        oracle = SimulatedSetOracle(policy)
+        assert [
+            oracle.count_misses(setup, probe) for setup, probe in PROBE_QUERIES
+        ] == expected
+
+    def test_registry_instances_share_the_factory_automaton(self):
+        # make_policy stamps provenance, so equivalent instances resolve
+        # to one automaton per process (and through it, the disk store).
+        first = compiled_for(make_policy("fifo", WAYS))
+        second = compiled_for(make_policy("fifo", WAYS))
+        assert first is second
+        assert compiled_for_factory("fifo", (), WAYS) is first
+
+    def test_unsupported_counter_for_randomized(self):
+        obs_metrics.DEFAULT.reset()
+        assert compiled_for_factory("random", (), WAYS) is None
+        counters = _counters()
+        assert counters["kernel.compile.unsupported"] == 1
+        assert counters.get("kernel.compile.miss", 0) == 0
+
+    def test_store_disabled_bypasses_disk(self):
+        key = store.factory_key("lru", (), WAYS)
+        assert store.save(key, compiled_for_factory("lru", (), WAYS))
+        clear_compile_cache()
+        obs_metrics.DEFAULT.reset()
+        with store.store_disabled():
+            assert not store.store_enabled()
+            compiled = compiled_for_factory("lru", (), WAYS)
+        assert compiled is not None and not compiled.frozen
+        assert _counters()["kernel.compile.miss"] == 1
+
+    def test_ensure_persisted_memoizes(self):
+        key = store.factory_key("lru", (), WAYS)
+        compiled = compiled_for_factory("lru", (), WAYS)
+        assert store.ensure_persisted(key, compiled)
+        mtime = store.artifact_path(key).stat().st_mtime_ns
+        assert store.ensure_persisted(key, compiled)
+        assert store.artifact_path(key).stat().st_mtime_ns == mtime
+
+    def test_stats_and_clear(self):
+        assert store.stats()["entries"] == 0
+        store.save(store.factory_key("lru", (), WAYS), compiled_for_factory("lru", (), WAYS))
+        store.save(store.factory_key("fifo", (), WAYS), compiled_for_factory("fifo", (), WAYS))
+        info = store.stats()
+        assert info["entries"] == 2
+        assert info["stale_entries"] == 0
+        assert info["total_bytes"] > 0
+        assert all(entry["current"] for entry in info["artifacts"])
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+
+    def test_warm_reports_statuses(self):
+        report = store.warm([("lru", (), WAYS), ("random", (), WAYS), ("lru", (), WAYS)])
+        assert [entry["policy"] for entry in report] == ["lru", "random"]
+        by_name = {entry["policy"]: entry for entry in report}
+        assert by_name["lru"]["status"] == "persisted"
+        assert by_name["lru"]["states"] == 6  # 3! LRU orders
+        assert by_name["random"]["status"] == "unsupported"
+        assert store.load(store.factory_key("lru", (), WAYS)) is not None
+
+
+class TestClearCompileCacheFullReset:
+    def test_clears_instance_unsupported_marker(self):
+        policy = LruPolicy(WAYS)
+        assert compiled_for(policy) is not None
+        mark_unsupported(policy)
+        assert compiled_for(policy) is None
+        clear_compile_cache()
+        assert compiled_for(policy) is not None
+
+    def test_clears_factory_unsupported_marker(self):
+        mark_factory_unsupported("plru", (), 4)
+        assert compiled_for_factory("plru", (), 4) is None
+        clear_compile_cache()
+        assert compiled_for_factory("plru", (), 4) is not None
+
+    def test_clears_spec_unsupported_marker(self):
+        spec = lru_spec(WAYS)
+        mark_spec_unsupported(spec)
+        assert compiled_for_spec(spec) is None
+        clear_compile_cache()
+        assert compiled_for_spec(spec) is not None
+
+    def test_clears_persisted_memo(self):
+        key = store.factory_key("lru", (), WAYS)
+        store.save(key, compiled_for_factory("lru", (), WAYS))
+        store.artifact_path(key).unlink()
+        clear_compile_cache()
+        # A cleared session must re-verify the disk, not trust the memo.
+        compiled = compiled_for_factory("lru", (), WAYS)
+        assert store.ensure_persisted(key, compiled)
+        assert store.artifact_path(key).exists()
+
+
+class TestBatchEngines:
+    @pytest.mark.parametrize(
+        "name", [name for name, _ in all_deterministic_policies(WAYS)]
+    )
+    def test_count_misses_batch_matches_per_query_and_interpreter(self, name):
+        compiled = compiled_for_factory(name, (), WAYS)
+        batch = count_misses_batch(compiled, PROBE_QUERIES)
+        assert batch == [
+            count_misses_kernel(compiled, setup, probe)
+            for setup, probe in PROBE_QUERIES
+        ]
+        with kernel_disabled():
+            oracle = SimulatedSetOracle(make_policy(name, WAYS))
+            assert batch == [
+                oracle.count_misses(setup, probe) for setup, probe in PROBE_QUERIES
+            ]
+
+    @pytest.mark.parametrize(
+        "name", [name for name, _ in all_deterministic_policies(WAYS)]
+    )
+    def test_sequence_hits_batch_matches_per_query(self, name):
+        compiled = compiled_for_factory(name, (), WAYS)
+        shared_setup = [9, 8, 7]
+        queries = [(shared_setup, probe) for _, probe in PROBE_QUERIES]
+        assert sequence_hits_batch(compiled, queries) == [
+            sequence_hits(compiled, setup, probe) for setup, probe in queries
+        ]
+
+    def test_sequence_hits_preloaded_matches_cache_set(self):
+        compiled = compiled_for_factory("srrip", (), 4)
+        tags = [10, 11, 12, 13]
+        probe = [14, 10, 15, 11, 12, 14]
+        cache_set = CacheSet(4, make_policy("srrip", 4))
+        cache_set.preload(tags)
+        expected = tuple(cache_set.access(block).hit for block in probe)
+        assert sequence_hits_preloaded(compiled, tags, probe) == expected
+
+    def test_batch_flushes_one_kernel_call(self):
+        compiled = compiled_for_factory("lru", (), WAYS)
+        obs_metrics.DEFAULT.reset()
+        count_misses_batch(compiled, PROBE_QUERIES)
+        counters = _counters()
+        assert counters["kernel.calls"] == 1
+        assert counters["kernel.calls.batch"] == 1
+
+    def test_oracle_count_misses_many_matches_loop(self):
+        batched = SimulatedSetOracle(make_policy("plru", 4))
+        looped = SimulatedSetOracle(make_policy("plru", 4))
+        queries = [(list(range(4)), [5, 0, 6, 1]), ([], [1, 1, 2]), (list(range(4)), [5, 0, 6, 1])]
+        assert batched.count_misses_many(queries) == [
+            looped.count_misses(setup, probe) for setup, probe in queries
+        ]
+        assert batched.measurements == looped.measurements == 3
+        assert batched.accesses == looped.accesses
+
+    def test_caching_oracle_batch_dedup_and_accounting(self):
+        oracle = CachingOracle(SimulatedSetOracle(make_policy("lru", WAYS)))
+        queries = [([], [1, 2, 3]), ([], [1, 2, 3]), ([1], [2, 3, 1])]
+        results = oracle.count_misses_many(queries)
+        assert results[0] == results[1]
+        assert oracle.cache_hits == 1
+        assert oracle.cache_misses == 2
+        assert oracle._inner.measurements == 2
+        # Replaying the same batch is all hits.
+        assert oracle.count_misses_many(queries) == results
+        assert oracle.cache_hits == 4
+
+    def test_caching_oracle_batch_matches_serial_counters(self):
+        serial = CachingOracle(SimulatedSetOracle(make_policy("fifo", WAYS)))
+        batched = CachingOracle(SimulatedSetOracle(make_policy("fifo", WAYS)))
+        queries = PROBE_QUERIES + PROBE_QUERIES[:2]
+        expected = [serial.count_misses(setup, probe) for setup, probe in queries]
+        assert batched.count_misses_many(queries) == expected
+        assert batched.cache_hits == serial.cache_hits
+        assert batched.cache_misses == serial.cache_misses
+        assert batched.accesses == serial.accesses
+
+    def test_distinguish_responses_matches_per_probe(self):
+        policy = make_policy("plru", 4)
+        probes = [probe for _, probe in PROBE_QUERIES]
+        assert responses(policy, probes) == [response(policy, probe) for probe in probes]
+        with kernel_disabled():
+            assert responses(policy, probes) == [
+                response(policy, probe) for probe in probes
+            ]
+
+
+class TestRunnerPrewarm:
+    CONFIG = CacheConfig("tiny", 2 * 1024, 4)  # 8 sets
+
+    def _cells(self):
+        trace = Trace("t", tuple((i % 64) * 64 for i in range(200)))
+        return [
+            SimCell.make(trace, self.CONFIG, name)
+            for name in ("lru", "fifo", "plru", "random")
+        ]
+
+    def test_parallel_prewarm_populates_store_and_matches_serial(self):
+        clear_memo()
+        serial = run_sim_cells(self._cells(), runner=ExperimentRunner())
+        clear_memo()
+        clear_compile_cache()
+        obs_metrics.DEFAULT.reset()
+        parallel = run_sim_cells(self._cells(), runner=ExperimentRunner(jobs=2))
+        assert [r.stats for r in parallel] == [r.stats for r in serial]
+        # The parent resolved every deterministic automaton once...
+        for name in ("lru", "fifo", "plru"):
+            assert store.load(store.factory_key(name, (), 4)) is not None
+        # ...and a warm re-run compiles nothing.
+        clear_memo()
+        clear_compile_cache()
+        obs_metrics.DEFAULT.reset()
+        rerun = run_sim_cells(self._cells(), runner=ExperimentRunner(jobs=2))
+        assert [r.stats for r in rerun] == [r.stats for r in serial]
+        assert _counters().get("kernel.compile.miss", 0) == 0
+        assert _counters()["kernel.compile.load"] >= 3

@@ -20,7 +20,7 @@ from repro.cache import CacheConfig
 from repro.core import InferenceConfig, PermutationInference, SimulatedSetOracle
 from repro.core.identify import CandidateIdentification
 from repro.core.oracle import VotingOracle
-from repro.kernels import try_simulate_trace
+from repro.kernels import clear_compile_cache, try_simulate_trace
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
@@ -112,7 +112,10 @@ def collect_events() -> list[dict]:
     events += tracer.events
 
     # kernel.run in both compiled-trace and direct mode (the cold-path
-    # include filter leaves the kernel engaged).
+    # include filter leaves the kernel engaged), plus kernel.compile for
+    # the cold resolutions (cleared caches force a BFS miss and an
+    # unsupported resolution).
+    clear_compile_cache()
     with tracing(include=("kernel.",)) as tracer:
         trace = cyclic_loop(32, iterations=2)
         config = CacheConfig("L1", 1024, 2)
