@@ -41,7 +41,12 @@ from repro.hardware import (
     NoiseModel,
     get_processor,
 )
-from repro.kernels import kernel_enabled, set_kernel_enabled
+from repro.kernels import (
+    kernel_enabled,
+    set_kernel_enabled,
+    set_vector_enabled,
+    vector_enabled,
+)
 from repro.obs import (
     DEFAULT,
     ExperimentResult,
@@ -268,6 +273,10 @@ def _add_kernel_options(command: argparse.ArgumentParser) -> None:
         "--no-kernel", dest="kernel", action="store_false",
         help="force the interpreted simulator (reference path)",
     )
+    command.add_argument(
+        "--no-vector", dest="vector", action="store_false", default=True,
+        help="keep the scalar kernel engines even when numpy is available",
+    )
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -300,6 +309,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"total {info['total_bytes']} bytes, "
                 f"schema v{info['schema_version']}, "
                 f"{'enabled' if info['enabled'] else 'disabled'}"
+            )
+            from repro.kernels import numpy_available
+
+            print(
+                "loading: "
+                f"mmap {'on' if store.mmap_enabled() else 'off'}, "
+                f"numpy {'available (vector engine)' if numpy_available() else 'absent (scalar only)'}"
             )
             return 0
         if args.action == "clear":
@@ -504,6 +520,8 @@ def _run_with_observability(args: argparse.Namespace) -> int:
     command = _COMMANDS[args.command]
     kernel_before = kernel_enabled()
     set_kernel_enabled(getattr(args, "kernel", kernel_before))
+    vector_before = vector_enabled()
+    set_vector_enabled(getattr(args, "vector", vector_before))
     DEFAULT.reset()
     obs_spans.reset()
     start = time.perf_counter()
@@ -519,6 +537,7 @@ def _run_with_observability(args: argparse.Namespace) -> int:
             status = command(args)
     finally:
         set_kernel_enabled(kernel_before)
+        set_vector_enabled(vector_before)
     wall_seconds = time.perf_counter() - start
     if metrics_file is not None:
         result = ExperimentResult(

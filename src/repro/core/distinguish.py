@@ -159,8 +159,10 @@ def random_distinguishing_sequence(
     # Probes are generated and examined in rng order but simulated in
     # chunks, so each policy's automaton runs one batched engine call
     # per chunk.  The returned sequence is the first diverging probe in
-    # generation order — identical to the probe-at-a-time search.
-    chunk_size = 32
+    # generation order — identical to the probe-at-a-time search, and
+    # (because the rng feeds nothing but probe generation) independent
+    # of the chunk size, so the vector engine gets wider batches.
+    chunk_size = 256 if kernels.vector_allowed() else 32
     produced = 0
     while produced < tries:
         count = min(chunk_size, tries - produced)

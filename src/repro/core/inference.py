@@ -329,11 +329,22 @@ class PermutationInference:
 
     # -- stage 5: verification ------------------------------------------------------
     def _verify(self, ways: int, spec: PermutationSpec) -> bool:
-        """Compare oracle miss counts against the spec's predictions."""
+        """Compare oracle miss counts against the spec's predictions.
+
+        All verification sequences are generated first (same rng, same
+        draw order as generating them one at a time — the rng feeds
+        nothing else) and predicted in one batch, so the vector engine
+        can run every sequence as a lane of a single kernel call.
+        Measurements then proceed sequentially with the same
+        first-mismatch early exit as before: predictions are kernel
+        work, not oracle cost, so the oracle's ``measurements`` /
+        ``accesses`` accounting is unchanged on every path.
+        """
         rng = random.Random(self.config.seed)
         establishment = self._establishment(ways)
+        probes: list[list[int]] = []
         for _ in range(self.config.verify_sequences):
-            probe = []
+            probe: list[int] = []
             next_fresh = 30_000
             for _ in range(self.config.verify_length):
                 if rng.random() < 0.35:
@@ -342,14 +353,18 @@ class PermutationInference:
                 else:
                     pool = establishment + probe[-ways:]
                     probe.append(rng.choice(pool))
+            probes.append(probe)
+        setup = self._prefix(ways) + establishment
+        # One simulation pass per sequence predicts every window at
+        # once: the prediction for window [start, end) is the difference
+        # of cumulative miss counts, identical (by determinism) to a
+        # pair of fresh _predict() runs per window but costing
+        # O(len(probe)) instead of O(len(probe)^2 / window) work.
+        cumulatives = self._predict_cumulative_batch(
+            ways, spec, establishment, probes
+        )
+        for probe, cumulative in zip(probes, cumulatives):
             window = self.config.verify_window or len(probe)
-            setup = self._prefix(ways) + establishment
-            # One simulation pass predicts every window at once: the
-            # prediction for window [start, end) is the difference of
-            # cumulative miss counts, identical (by determinism) to the
-            # old pair of fresh _predict() runs per window but costing
-            # O(len(probe)) instead of O(len(probe)^2 / window) work.
-            cumulative = self._predict_cumulative(ways, spec, establishment, probe)
             for start in range(0, len(probe), window):
                 end = min(start + window, len(probe))
                 measured = self.oracle.count_misses(
@@ -412,3 +427,45 @@ class PermutationInference:
                 misses += 1
             cumulative.append(misses)
         return cumulative
+
+    @classmethod
+    def _predict_cumulative_batch(
+        cls,
+        ways: int,
+        spec: PermutationSpec,
+        establishment: list[int],
+        probes: list[list[int]],
+    ) -> list[list[int]]:
+        """Cumulative predicted misses for many probes from one state.
+
+        Every probe starts from the same established state, so the batch
+        maps onto :func:`~repro.kernels.sequence_hits_preloaded_batch`
+        (one vector-engine call when numpy is available).  Per-probe
+        results are bit-identical to :meth:`_predict_cumulative`.
+        """
+        preload = [establishment[ways - 1 - p] for p in range(ways)]
+        flags_list: list[tuple[bool, ...]] | None = None
+        if len(probes) > 1 and kernels.kernel_allowed():
+            compiled = kernels.compiled_for_spec(spec)
+            if compiled is not None:
+                try:
+                    flags_list = kernels.sequence_hits_preloaded_batch(
+                        compiled, preload, probes
+                    )
+                except KernelUnsupported:
+                    kernels.mark_spec_unsupported(spec)
+        if flags_list is None:
+            return [
+                cls._predict_cumulative(ways, spec, establishment, probe)
+                for probe in probes
+            ]
+        cumulatives = []
+        for flags in flags_list:
+            cumulative = [0]
+            misses = 0
+            for hit in flags:
+                if not hit:
+                    misses += 1
+                cumulative.append(misses)
+            cumulatives.append(cumulative)
+        return cumulatives

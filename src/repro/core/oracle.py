@@ -278,8 +278,23 @@ class CachingOracle(MissCountOracle):
         self.cache_hits = 0
         self.cache_misses = 0
 
+    @staticmethod
+    def memo_key(
+        setup: Sequence[int], probe: Sequence[int]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """The memo key of one measurement: a *nested* pair of tuples.
+
+        The split matters as much as the contents: ``([1], [2, 3])`` and
+        ``([1, 2], [3])`` replay the same concatenated accesses but count
+        different misses, so the key must never flatten the pair into one
+        sequence (or join it with any in-band separator an id could
+        collide with).  Every cache path keys through here so the
+        invariant lives in one place.
+        """
+        return (tuple(setup), tuple(probe))
+
     def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
-        key = (tuple(setup), tuple(probe))
+        key = self.memo_key(setup, probe)
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
@@ -304,7 +319,7 @@ class CachingOracle(MissCountOracle):
         the whole list.  Results and hit/miss accounting are
         bit-identical to looping over :meth:`count_misses`.
         """
-        queries = [(tuple(setup), tuple(probe)) for setup, probe in queries]
+        queries = [self.memo_key(setup, probe) for setup, probe in queries]
         pending: dict[tuple, int] = {}
         to_measure: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
         hits = 0

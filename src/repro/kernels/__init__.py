@@ -55,12 +55,20 @@ from repro.kernels.engine import (
     sequence_hits,
     sequence_hits_batch,
     sequence_hits_preloaded,
+    sequence_hits_preloaded_batch,
     simulate_sequence,
     simulate_trace_direct,
     simulate_trace_kernel,
     try_simulate_trace,
 )
-from repro.kernels import store
+from repro.kernels import store, vector
+from repro.kernels.vector import (
+    numpy_available,
+    set_vector_enabled,
+    vector_allowed,
+    vector_disabled,
+    vector_enabled,
+)
 
 __all__ = [
     "DEFAULT_BUDGET",
@@ -80,8 +88,10 @@ __all__ = [
     "sequence_hits",
     "sequence_hits_batch",
     "sequence_hits_preloaded",
+    "sequence_hits_preloaded_batch",
     "simulate_sequence",
     "store",
+    "vector",
     "simulate_trace_direct",
     "simulate_trace_kernel",
     "try_simulate_trace",
@@ -89,6 +99,11 @@ __all__ = [
     "kernel_enabled",
     "set_kernel_enabled",
     "kernel_disabled",
+    "numpy_available",
+    "vector_allowed",
+    "vector_enabled",
+    "set_vector_enabled",
+    "vector_disabled",
 ]
 
 #: Process-wide switch.  Worker processes forked by the runner inherit

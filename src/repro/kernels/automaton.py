@@ -81,6 +81,7 @@ class CompiledPolicy:
         "_ids",
         "_policies",
         "_num_states",
+        "vector_tables",
     )
 
     def __init__(self, prototype: ReplacementPolicy, budget: int = DEFAULT_BUDGET) -> None:
@@ -107,6 +108,10 @@ class CompiledPolicy:
         self.fill_next: list[int] = [-1] * ways
         self.miss_victim: list[int] = [-1]
         self.miss_next: list[int] = [-1]
+        #: Numpy mirror of the tables for :mod:`repro.kernels.vector`.
+        #: ``None`` = not built yet, ``False`` = tried and unsupported
+        #: (budget blown / numpy absent); managed by ``vector.ensure_tables``.
+        self.vector_tables = None
 
     @property
     def num_states(self) -> int:
@@ -164,12 +169,39 @@ class CompiledPolicy:
         compiled._ids = {}
         compiled._policies = []
         compiled._num_states = num_states
+        compiled.vector_tables = None
         # Plain lists: exactly what the BFS path builds, so the engine's
         # inner loops are byte-for-byte the same on both origins.
         compiled.hit_next = list(tables["hit_next"])
         compiled.fill_next = list(tables["fill_next"])
         compiled.miss_victim = list(tables["miss_victim"])
         compiled.miss_next = list(tables["miss_next"])
+        return compiled
+
+    @classmethod
+    def from_mapped(
+        cls, ways: int, budget: int, num_states: int, buffers: dict, keep_alive=None
+    ) -> "CompiledPolicy":
+        """Rebuild a complete automaton over zero-copy mapped buffers.
+
+        ``buffers`` holds int-typed buffer views (``memoryview.cast('i')``)
+        of the four tables, typically backed by an ``mmap`` of the on-disk
+        artifact so every worker process shares one page-cache copy.  The
+        scalar engines want plain lists for their inner loops, so the list
+        tables are materialized *lazily*, on first attribute access — a
+        worker that only ever runs the vector engine (whose numpy views
+        the store attaches separately) never deserializes them at all.
+        ``keep_alive`` pins the underlying map for the automaton's lifetime.
+        """
+        compiled = _MappedCompiledPolicy.__new__(_MappedCompiledPolicy)
+        compiled.ways = ways
+        compiled.budget = budget
+        compiled._ids = {}
+        compiled._policies = []
+        compiled._num_states = num_states
+        compiled.vector_tables = None
+        compiled._buffers = dict(buffers)
+        compiled._keep_alive = keep_alive
         return compiled
 
     def _intern(self, policy: ReplacementPolicy) -> int:
@@ -273,6 +305,38 @@ class CompiledPolicy:
             f"<CompiledPolicy {origin} "
             f"ways={self.ways} states={self.num_states}>"
         )
+
+
+class _MappedCompiledPolicy(CompiledPolicy):
+    """Frozen automaton whose list tables materialize on first use.
+
+    Built only by :meth:`CompiledPolicy.from_mapped`.  The table names
+    are shadowed by properties that copy the mapped buffer into a plain
+    list the first time a scalar engine touches it, then write the list
+    through the parent's slot descriptor so every later access is a
+    plain slot read again.
+    """
+
+    __slots__ = ("_buffers", "_keep_alive")
+
+
+def _lazy_table(name: str):
+    slot = getattr(CompiledPolicy, name)  # the parent's member descriptor
+
+    def fget(self):
+        try:
+            return slot.__get__(self, type(self))
+        except AttributeError:
+            value = list(self._buffers[name])
+            slot.__set__(self, value)
+            return value
+
+    return property(fget, slot.__set__)
+
+
+for _name in ("hit_next", "fill_next", "miss_victim", "miss_next"):
+    setattr(_MappedCompiledPolicy, _name, _lazy_table(_name))
+del _name
 
 
 def compile_policy(

@@ -45,7 +45,7 @@ from repro.cache.config import CacheConfig
 from repro.cache.set import SetAccessResult
 from repro.cache.stats import CacheStats
 from repro.errors import KernelUnsupported
-from repro.kernels import automaton
+from repro.kernels import automaton, vector
 from repro.kernels.automaton import CompiledPolicy, compiled_for_factory
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -60,6 +60,7 @@ __all__ = [
     "sequence_hits",
     "sequence_hits_batch",
     "sequence_hits_preloaded",
+    "sequence_hits_preloaded_batch",
     "simulate_sequence",
     "simulate_trace_direct",
     "simulate_trace_kernel",
@@ -80,6 +81,13 @@ def _note_kernel_call(
     block runs), ``"batch"`` (many single-set queries in one call),
     ``"trace"`` (compiled whole-cache) or ``"direct"`` (real-policy
     whole-cache).
+
+    Invariant (every mode, every call site): ``accesses = hits +
+    misses``, counting *all* executed accesses — setup replays included.
+    Setup accesses a batch *skips* through snapshot reuse are reported
+    separately as ``kernel.setup_reused``, so the per-query and batch
+    paths reconcile exactly: ``accesses(batch) + setup_reused ==
+    accesses(per-query)``.
     """
     metrics = obs_metrics.DEFAULT
     metrics.incr("kernel.calls")
@@ -100,11 +108,13 @@ def _run_blocks(
     tag_of: list[int],
     state: int,
     hits: list[bool] | None = None,
-) -> int:
-    """Advance one set over ``blocks``; return the final state id.
+) -> tuple[int, int]:
+    """Advance one set over ``blocks``; return ``(final state, hit count)``.
 
     ``way_of``/``tag_of`` are mutated in place; ``hits`` (when given)
-    collects the per-access hit/miss outcome.
+    collects the per-access hit/miss outcome.  The hit count is returned
+    even without a ``hits`` list so setup replays can be accounted under
+    the accesses = hits + misses counter invariant.
     """
     ways = compiled.ways
     hit_next = compiled.hit_next
@@ -112,11 +122,13 @@ def _run_blocks(
     miss_victim = compiled.miss_victim
     miss_next = compiled.miss_next
     record = hits.append if hits is not None else None
+    hit_count = 0
     for block in blocks:
         way = way_of.get(block)
         if way is not None:
             nxt = hit_next[state * ways + way]
             state = nxt if nxt >= 0 else compiled.expand_hit(state, way)
+            hit_count += 1
             if record is not None:
                 record(True)
             continue
@@ -138,7 +150,7 @@ def _run_blocks(
             state = nxt
         if record is not None:
             record(False)
-    return state
+    return state, hit_count
 
 
 def count_misses_kernel(
@@ -147,11 +159,13 @@ def count_misses_kernel(
     """Misses of ``probe`` after ``setup``, from a fresh empty set."""
     way_of: dict[int, int] = {}
     tag_of = [0] * compiled.ways
-    state = _run_blocks(compiled, setup, way_of, tag_of, 0)
+    state, setup_hits = _run_blocks(compiled, setup, way_of, tag_of, 0)
     hits: list[bool] = []
     _run_blocks(compiled, probe, way_of, tag_of, state, hits)
     probe_hits = sum(hits)
-    _note_kernel_call("set", len(setup) + len(hits), probe_hits, len(hits) - probe_hits)
+    total = len(setup) + len(hits)
+    total_hits = setup_hits + probe_hits
+    _note_kernel_call("set", total, total_hits, total - total_hits)
     return len(hits) - probe_hits
 
 
@@ -198,25 +212,68 @@ def sequence_hits_preloaded(
     return tuple(hits)
 
 
+def sequence_hits_preloaded_batch(
+    compiled: CompiledPolicy,
+    tags: Sequence[int],
+    probes: Sequence[Sequence[int]],
+) -> list[tuple[bool, ...]]:
+    """Per-access outcomes of many probes from one preloaded set.
+
+    Every probe starts from the same preloaded full set (``tags[w]``
+    resident in way ``w``) in the reset state — the shape of inference's
+    verification round, which predicts the outcome of many candidate
+    sequences against one conflict set.  Bit-identical to per-probe
+    :func:`sequence_hits_preloaded` calls; one metrics flush covers the
+    batch, and the vector engine takes it when numpy is available.
+    """
+    if len(tags) != compiled.ways:
+        raise KernelUnsupported(
+            f"preload needs {compiled.ways} tags, got {len(tags)}"
+        )
+    result = vector.preloaded_outcomes(compiled, tags, probes)
+    if result is not None:
+        outcomes, accesses, total_hits = result
+        _note_kernel_call("batch", accesses, total_hits, accesses - total_hits)
+        return [tuple(hits) for hits in outcomes]
+    out: list[tuple[bool, ...]] = []
+    accesses = 0
+    total_hits = 0
+    for probe in probes:
+        way_of = {tag: way for way, tag in enumerate(tags)}
+        tag_of = list(tags)
+        hits: list[bool] = []
+        _run_blocks(compiled, probe, way_of, tag_of, 0, hits)
+        accesses += len(hits)
+        total_hits += sum(hits)
+        out.append(tuple(hits))
+    _note_kernel_call("batch", accesses, total_hits, accesses - total_hits)
+    return out
+
+
 # -- batched single-set runs -------------------------------------------------
 
 def _run_batch(
     compiled: CompiledPolicy,
     queries: Sequence[tuple[Sequence[int], Sequence[int]]],
-) -> tuple[list[list[bool]], int]:
+) -> tuple[list[list[bool]], int, int, int]:
     """Run many ``(setup, probe)`` queries through one automaton.
 
-    Returns the per-query hit lists and the number of accesses actually
-    executed.  Each query is an independent fresh-set run (bit-identical
-    to calling :func:`count_misses_kernel`/:func:`sequence_hits` per
-    query), but consecutive queries sharing a setup — the dominant shape
-    in inference and distinguishing searches — replay the post-setup
+    Returns ``(outcomes, executed, executed_hits, reused)``: the
+    per-query hit lists, the number of accesses actually executed, how
+    many of those hit, and the number of setup accesses *skipped* via
+    snapshot reuse.  Each query is an independent fresh-set run
+    (bit-identical to calling
+    :func:`count_misses_kernel`/:func:`sequence_hits` per query), but
+    consecutive queries sharing a setup — the dominant shape in
+    inference and distinguishing searches — replay the post-setup
     snapshot instead of re-running the setup, which is where the batch
     win on top of amortized call overhead comes from.
     """
     ways = compiled.ways
     outcomes: list[list[bool]] = []
     executed = 0
+    executed_hits = 0
+    reused = 0
     prev_setup: tuple[int, ...] | None = None
     base_way_of: dict[int, int] = {}
     base_tag_of: list[int] = [0] * ways
@@ -226,16 +283,47 @@ def _run_batch(
         if setup_key != prev_setup:
             base_way_of = {}
             base_tag_of = [0] * ways
-            base_state = _run_blocks(compiled, setup, base_way_of, base_tag_of, 0)
+            base_state, setup_hits = _run_blocks(
+                compiled, setup, base_way_of, base_tag_of, 0
+            )
             prev_setup = setup_key
             executed += len(setup_key)
+            executed_hits += setup_hits
+        else:
+            reused += len(setup_key)
         way_of = dict(base_way_of)
         tag_of = list(base_tag_of)
         hits: list[bool] = []
         _run_blocks(compiled, probe, way_of, tag_of, base_state, hits)
         executed += len(hits)
+        executed_hits += sum(hits)
         outcomes.append(hits)
-    return outcomes, executed
+    return outcomes, executed, executed_hits, reused
+
+
+def _batch_outcomes(
+    compiled: CompiledPolicy,
+    queries: Sequence[tuple[Sequence[int], Sequence[int]]],
+) -> list[list[bool]]:
+    """Run a batch — vectorized when possible — and flush its counters.
+
+    The vector engine's accounting tuple is definitionally identical to
+    the scalar batch's (same chunking-by-consecutive-setup rule), so the
+    ``kernel.*`` counters do not depend on which engine ran; only the
+    ``kernel.vector.*`` namespace reveals the difference.
+    """
+    result = vector.batch_outcomes(compiled, queries)
+    if result is None:
+        result = _run_batch(compiled, queries)
+    outcomes, executed, executed_hits, reused = result
+    _flush_batch(executed, executed_hits, reused)
+    return outcomes
+
+
+def _flush_batch(executed: int, executed_hits: int, reused: int) -> None:
+    _note_kernel_call("batch", executed, executed_hits, executed - executed_hits)
+    if reused:
+        obs_metrics.DEFAULT.incr("kernel.setup_reused", reused)
 
 
 def count_misses_batch(
@@ -245,13 +333,18 @@ def count_misses_batch(
     """Probe miss counts of many ``(setup, probe)`` queries, in order.
 
     One metrics flush covers the whole batch; the counts themselves are
-    bit-identical to per-query :func:`count_misses_kernel` calls.
+    bit-identical to per-query :func:`count_misses_kernel` calls.  On
+    the vector path the per-access outcomes are summed per lane in
+    numpy and never materialize as Python lists.
     """
-    outcomes, executed = _run_batch(compiled, queries)
-    total_hits = sum(sum(hits) for hits in outcomes)
-    total_probe = sum(len(hits) for hits in outcomes)
-    _note_kernel_call("batch", executed, total_hits, total_probe - total_hits)
-    return [len(hits) - sum(hits) for hits in outcomes]
+    result = vector.batch_miss_counts(compiled, queries)
+    if result is None:
+        outcomes, executed, executed_hits, reused = _run_batch(compiled, queries)
+        counts = [len(hits) - sum(hits) for hits in outcomes]
+    else:
+        counts, executed, executed_hits, reused = result
+    _flush_batch(executed, executed_hits, reused)
+    return counts
 
 
 def sequence_hits_batch(
@@ -263,10 +356,7 @@ def sequence_hits_batch(
     Bit-identical to per-query :func:`sequence_hits` calls; one metrics
     flush covers the batch.
     """
-    outcomes, executed = _run_batch(compiled, queries)
-    total_hits = sum(sum(hits) for hits in outcomes)
-    total_probe = sum(len(hits) for hits in outcomes)
-    _note_kernel_call("batch", executed, total_hits, total_probe - total_hits)
+    outcomes = _batch_outcomes(compiled, queries)
     return [tuple(hits) for hits in outcomes]
 
 
@@ -276,11 +366,13 @@ def sequence_hits(
     """Per-access hit/miss outcome of ``probe`` after ``setup``."""
     way_of: dict[int, int] = {}
     tag_of = [0] * compiled.ways
-    state = _run_blocks(compiled, setup, way_of, tag_of, 0)
+    state, setup_hits = _run_blocks(compiled, setup, way_of, tag_of, 0)
     hits: list[bool] = []
     _run_blocks(compiled, probe, way_of, tag_of, state, hits)
     probe_hits = sum(hits)
-    _note_kernel_call("set", len(setup) + len(hits), probe_hits, len(hits) - probe_hits)
+    total = len(setup) + len(hits)
+    total_hits = setup_hits + probe_hits
+    _note_kernel_call("set", total, total_hits, total - total_hits)
     return tuple(hits)
 
 
@@ -377,6 +469,16 @@ def simulate_trace_kernel(
 def _simulate_trace_compiled(
     trace: Trace, config: CacheConfig, compiled: CompiledPolicy, policy: str = "?"
 ) -> CacheStats:
+    if obs_trace.ACTIVE is None:
+        # No tracer wants kernel.run / per-state detail: the lock-step
+        # vector engine may take the whole trace.  Counters stay
+        # mode-invariant — the same "trace" flush either way.
+        stats = vector.simulate_trace_lockstep(trace, config, compiled)
+        if stats is not None:
+            _note_kernel_call(
+                "trace", stats.accesses, stats.hits, stats.misses, stats.evictions
+            )
+            return stats
     offset_bits, index_bits, hashed, set_mask = _decompose_params(config)
     num_sets = config.num_sets
     ways = config.ways

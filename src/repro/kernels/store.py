@@ -36,6 +36,7 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import mmap
 import os
 import struct
 import tempfile
@@ -44,6 +45,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import KernelUnsupported
+from repro.kernels import vector as _vector
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -55,6 +58,9 @@ __all__ = [
     "store_enabled",
     "set_store_enabled",
     "store_disabled",
+    "mmap_enabled",
+    "set_mmap_enabled",
+    "mmap_disabled",
     "artifact_path",
     "save",
     "load",
@@ -177,6 +183,38 @@ def store_disabled():
         _ENABLED = previous
 
 
+#: mmap mode: ``None`` = auto (map artifacts zero-copy), ``True``/``False``
+#: force.  Mapped loads share the OS page cache across ``--jobs N``
+#: workers instead of each holding a private deserialized copy; scalar
+#: tables still materialize to plain lists, but lazily, on first touch.
+_MMAP: bool | None = None
+
+
+def mmap_enabled() -> bool:
+    """True when :func:`load` should map artifacts instead of reading them."""
+    if _MMAP is not None:
+        return _MMAP
+    return True
+
+
+def set_mmap_enabled(enabled: bool | None) -> None:
+    """Force mmap loading on/off; ``None`` restores the auto rule."""
+    global _MMAP
+    _MMAP = enabled if enabled is None else bool(enabled)
+
+
+@contextlib.contextmanager
+def mmap_disabled():
+    """Temporarily force buffered (copying) artifact reads."""
+    global _MMAP
+    previous = _MMAP
+    _MMAP = False
+    try:
+        yield
+    finally:
+        _MMAP = previous
+
+
 def _schema_dir() -> Path:
     return cache_dir() / f"v{SCHEMA_VERSION}"
 
@@ -248,23 +286,53 @@ def load(key: StoreKey):
     mismatch, bad checksum, out-of-range transitions — degrades to
     "recompile": corrupt files are unlinked, stale ones left for their
     own schema, and None is returned.  Never raises into the caller.
+
+    Two read modes.  With mmap enabled (the default) the file is mapped
+    read-only and the automaton's tables become zero-copy views over the
+    mapping — concurrent ``--jobs N`` workers then share one page-cache
+    copy of the bytes instead of each deserializing a private one, and
+    the vector engine's numpy tables alias the mapping directly.
+    Otherwise the bytes are read and copied into ``array('i')`` tables
+    as before.
+
+    Concurrency: the unlink of a corrupt artifact only happens when the
+    file on disk is still *the exact file we read* (same inode, size and
+    mtime).  Another worker may have replaced or removed it since we
+    opened it — recompiling covers us either way, and deleting their
+    fresh replacement would re-introduce the race this guard closes.
     """
     if not _ENABLED:
         return None
     from repro.kernels.automaton import CompiledPolicy
 
     path = artifact_path(key)
+    mapped = None
     try:
-        blob = path.read_bytes()
+        with open(path, "rb") as handle:
+            read_stat = os.fstat(handle.fileno())
+            if mmap_enabled() and read_stat.st_size > 0:
+                try:
+                    mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                except (OSError, ValueError):
+                    obs_metrics.DEFAULT.incr("kernel.mmap.fallbacks")
+                    mapped = None
+            blob = memoryview(mapped) if mapped is not None else handle.read()
     except OSError:
         return None
 
     def corrupt():
+        try:
+            current = os.stat(path)
+        except OSError:
+            return None  # already gone: another worker beat us to it
+        identity = ("st_ino", "st_dev", "st_size", "st_mtime_ns")
+        if any(getattr(current, f) != getattr(read_stat, f) for f in identity):
+            return None  # replaced since we read it: not ours to delete
         with contextlib.suppress(OSError):
             path.unlink()
         return None
 
-    if not blob.startswith(MAGIC):
+    if bytes(blob[: len(MAGIC)]) != MAGIC:
         return corrupt()
     offset = len(MAGIC)
     if len(blob) < offset + 4:
@@ -272,7 +340,7 @@ def load(key: StoreKey):
     (header_len,) = struct.unpack_from(">I", blob, offset)
     offset += 4
     try:
-        header = json.loads(blob[offset : offset + header_len])
+        header = json.loads(bytes(blob[offset : offset + header_len]))
     except ValueError:
         return corrupt()
     offset += header_len
@@ -305,26 +373,58 @@ def load(key: StoreKey):
         return corrupt()
     if hashlib.blake2s(payload).hexdigest() != header.get("checksum"):
         return corrupt()
-    tables = {}
+    buffers = {}
     cursor = 0
     for name in TABLE_NAMES:
         size = expected[name] * _ITEM
-        table = array("i")
-        table.frombytes(payload[cursor : cursor + size])
+        chunk = payload[cursor : cursor + size]
         cursor += size
-        tables[name] = table
-    # Complete-automaton invariants: every transition targets a real
-    # state, every victim a real way.
-    for name in ("hit_next", "fill_next", "miss_next"):
-        if any(entry < 0 or entry >= num_states for entry in tables[name]):
-            return corrupt()
-    if any(way < 0 or way >= ways for way in tables["miss_victim"]):
+        if mapped is not None:
+            buffers[name] = chunk.cast("i")
+        else:
+            table = array("i")
+            table.frombytes(chunk)
+            buffers[name] = table
+    if not _tables_in_range(buffers, num_states, ways):
         return corrupt()
-    compiled = CompiledPolicy.from_tables(
-        ways, header.get("budget", num_states), num_states, tables
-    )
+    budget = header.get("budget", num_states)
+    if mapped is not None:
+        compiled = CompiledPolicy.from_mapped(
+            ways, budget, num_states, buffers, keep_alive=mapped
+        )
+        if _vector.available():
+            compiled.vector_tables = _vector.VectorTables.from_buffers(
+                ways, num_states, buffers
+            )
+        metrics = obs_metrics.DEFAULT
+        metrics.incr("kernel.mmap.loads")
+        metrics.incr("kernel.mmap.bytes", len(blob))
+    else:
+        compiled = CompiledPolicy.from_tables(ways, budget, num_states, buffers)
     _PERSISTED.add(key.canonical)
     return compiled
+
+
+def _tables_in_range(buffers: dict, num_states: int, ways: int) -> bool:
+    """Complete-automaton invariants: every transition targets a real
+    state, every victim a real way.  Vectorized when numpy is present —
+    this is the hot half of artifact validation."""
+    if _vector.available():
+        np = _vector._np
+        for name in ("hit_next", "fill_next", "miss_next"):
+            table = np.frombuffer(buffers[name], dtype=np.int32)
+            if table.size and (
+                int(table.min()) < 0 or int(table.max()) >= num_states
+            ):
+                return False
+        victims = np.frombuffer(buffers["miss_victim"], dtype=np.int32)
+        return not victims.size or (
+            int(victims.min()) >= 0 and int(victims.max()) < ways
+        )
+    for name in ("hit_next", "fill_next", "miss_next"):
+        if any(entry < 0 or entry >= num_states for entry in buffers[name]):
+            return False
+    return all(0 <= way < ways for way in buffers["miss_victim"])
 
 
 def ensure_persisted(key: StoreKey, compiled) -> bool:
@@ -384,13 +484,28 @@ def warm(entries) -> list[dict]:
 
 
 # -- maintenance -------------------------------------------------------------
+def _sweep_paths(root: Path) -> list[Path]:
+    """Artifact paths under ``root``, robust to concurrent removal.
+
+    A ``--jobs N`` worker (or a concurrent ``repro cache clear``) may
+    delete directories while we iterate; scandir then raises mid-walk.
+    Snapshotting through one guarded listing keeps :func:`stats` and
+    :func:`clear` race-tolerant — files that vanish afterwards are
+    handled per-file.
+    """
+    try:
+        return sorted(root.glob("v*/*.autom"))
+    except OSError:
+        return []
+
+
 def stats() -> dict:
     """Inventory of the store: per-artifact and aggregate sizes."""
     root = cache_dir()
     entries = []
     stale = 0
     if root.is_dir():
-        for path in sorted(root.glob("v*/*.autom")):
+        for path in _sweep_paths(root):
             try:
                 size = path.stat().st_size
             except OSError:
@@ -418,18 +533,28 @@ def stats() -> dict:
 
 
 def clear(stale_only: bool = False) -> int:
-    """Delete artifacts (all, or only non-current schemas); returns count."""
+    """Delete artifacts (all, or only non-current schemas); returns count.
+
+    Safe against concurrent workers: files another process already
+    removed (``FileNotFoundError``) or protected (``PermissionError``)
+    are skipped, and a directory listing racing a removal yields an
+    empty sweep rather than an exception.
+    """
     root = cache_dir()
     removed = 0
     if not root.is_dir():
         return removed
-    for path in root.glob("v*/*.autom"):
+    for path in _sweep_paths(root):
         if stale_only and path.parent.name == f"v{SCHEMA_VERSION}":
             continue
         with contextlib.suppress(OSError):
             path.unlink()
             removed += 1
-    for subdir in root.glob("v*"):
+    try:
+        subdirs = list(root.glob("v*"))
+    except OSError:
+        subdirs = []
+    for subdir in subdirs:
         with contextlib.suppress(OSError):
             subdir.rmdir()  # only succeeds when empty
     _PERSISTED.clear()

@@ -45,6 +45,33 @@ class Trace:
         """Number of distinct 64-byte lines touched."""
         return len({address >> 6 for address in self.addresses})
 
+    def address_array(self):
+        """The addresses as a memoized numpy uint64 array.
+
+        Returns None when numpy is not installed or an address does not
+        fit in 64 bits (callers fall back to ``addresses``).  The array
+        is built once per trace — the vector engine re-simulates the
+        same trace under many policies, and converting a large tuple
+        dominates its setup cost.
+        """
+        try:
+            return self._address_array
+        except AttributeError:
+            pass
+        try:
+            import numpy
+        except ImportError:
+            array = None
+        else:
+            try:
+                array = numpy.asarray(self.addresses, dtype=numpy.uint64)
+            except (OverflowError, ValueError):
+                array = None
+            else:
+                array.setflags(write=False)
+        object.__setattr__(self, "_address_array", array)
+        return array
+
     def concat(self, other: "Trace", name: str | None = None) -> "Trace":
         """Concatenate two traces (phases of an application)."""
         return Trace(

@@ -1,0 +1,551 @@
+"""Vector engine, mmap store and batch-accounting tests.
+
+Four concerns, mirroring the contract in :mod:`repro.kernels.vector`:
+
+* **Equivalence** — every vector entry point (batched queries,
+  preloaded-probe batches, whole-trace lock-step) is bit-identical to
+  the scalar kernel and the interpreter, including the awkward shapes:
+  empty setups/probes, duplicate queries, single-query batches,
+  non-power-of-two batch sizes.
+* **Counters** — the batch path's ``kernel.*`` accounting reconciles
+  exactly with the per-query path (``accesses = hits + misses`` in every
+  mode; snapshot reuse reported as ``kernel.setup_reused``), whichever
+  engine ran.
+* **Store** — mmap loads are zero-copy, counted, and equal to buffered
+  loads; concurrent-worker races (artifact replaced or removed mid-load,
+  sweeps racing deletions) degrade to recompile, never raise.
+* **Fallback** — with numpy gone every vector entry point returns None
+  and the scalar engines carry on, bit-identically.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.set import CacheSet
+from repro.core.oracle import CachingOracle, SimulatedSetOracle
+from repro.kernels import (
+    clear_compile_cache,
+    compile_policy,
+    count_misses_batch,
+    count_misses_kernel,
+    kernel_disabled,
+    sequence_hits,
+    sequence_hits_batch,
+    sequence_hits_preloaded,
+    sequence_hits_preloaded_batch,
+    store,
+    try_simulate_trace,
+    vector,
+    vector_disabled,
+)
+from repro.obs import metrics as obs_metrics
+from repro.policies import LruPolicy, make_policy
+from repro.util.rng import SeededRng
+from repro.workloads.trace import Trace
+from tests.conftest import all_deterministic_policies
+
+WAYS = 4
+
+numpy_only = pytest.mark.skipif(
+    not vector.available(), reason="numpy not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+@pytest.fixture
+def tiny_lanes(monkeypatch):
+    """Force the vector engine onto even single-query batches."""
+    monkeypatch.setattr(vector, "MIN_LANES", 1)
+    monkeypatch.setattr(vector, "MIN_TRACE_LANES", 1)
+
+
+policy_names = st.sampled_from([name for name, _ in all_deterministic_policies(WAYS)])
+blocks = st.lists(st.integers(min_value=0, max_value=11), max_size=40)
+query_lists = st.lists(st.tuples(blocks, blocks), min_size=1, max_size=23)
+
+
+def build(name, ways=WAYS):
+    if name == "permutation":
+        from repro.policies import lru_spec
+
+        return make_policy(name, ways, spec=lru_spec(ways))
+    return make_policy(name, ways)
+
+
+# -- equivalence: batched (setup, probe) queries -----------------------------
+
+@numpy_only
+@given(name=policy_names, queries=query_lists)
+@settings(max_examples=80, deadline=None)
+def test_batch_outcomes_bit_identical(name, queries):
+    """Vector batches == scalar batches == per-query scalar runs."""
+    compiled = compile_policy(build(name))
+    expected = [
+        sequence_hits(compiled, setup, probe) for setup, probe in queries
+    ]
+    with vector_disabled():
+        scalar = sequence_hits_batch(compiled, queries)
+    assert scalar == expected
+    vector.MIN_LANES = 1
+    try:
+        assert sequence_hits_batch(compiled, queries) == expected
+    finally:
+        vector.MIN_LANES = 64
+
+
+@numpy_only
+@given(name=policy_names, queries=query_lists)
+@settings(max_examples=60, deadline=None)
+def test_batch_miss_counts_match_interpreter(name, queries):
+    compiled = compile_policy(build(name))
+    vector.MIN_LANES = 1
+    try:
+        counts = count_misses_batch(compiled, queries)
+    finally:
+        vector.MIN_LANES = 64
+    with kernel_disabled():
+        oracle = SimulatedSetOracle(build(name))
+        assert counts == [
+            oracle.count_misses(setup, probe) for setup, probe in queries
+        ]
+
+
+@numpy_only
+def test_batch_edge_shapes(tiny_lanes):
+    """Empty setups/probes, duplicates, single-query batches."""
+    compiled = compile_policy(LruPolicy(WAYS))
+    cases = [
+        [([], [])],                              # single, fully empty
+        [([], [1, 2, 1])],                       # single, empty setup
+        [([1, 2], [])],                          # single, empty probe
+        [([1, 2], [3, 1])] * 7,                  # duplicates share a setup
+        [([], []), ([], []), ([1], [1])],        # empties then content
+        [([i], [i, i + 1]) for i in range(17)],  # non-power-of-two lanes
+    ]
+    for queries in cases:
+        expected = [
+            sequence_hits(compiled, setup, probe) for setup, probe in queries
+        ]
+        assert sequence_hits_batch(compiled, queries) == expected
+
+
+@numpy_only
+def test_batch_falls_back_on_huge_ids(tiny_lanes):
+    """Block ids beyond the int64 lane range retreat to scalar, same result."""
+    compiled = compile_policy(LruPolicy(WAYS))
+    big = 1 << 70
+    queries = [([big], [big, 1]) for _ in range(4)]
+    expected = [sequence_hits(compiled, s, p) for s, p in queries]
+    assert sequence_hits_batch(compiled, queries) == expected
+
+
+@numpy_only
+@given(name=policy_names, probes=st.lists(blocks, min_size=1, max_size=19))
+@settings(max_examples=60, deadline=None)
+def test_preloaded_batch_bit_identical(name, probes):
+    compiled = compile_policy(build(name))
+    tags = [100 + way for way in range(WAYS)]
+    expected = [
+        sequence_hits_preloaded(compiled, tags, probe) for probe in probes
+    ]
+    vector.MIN_LANES = 1
+    try:
+        assert sequence_hits_preloaded_batch(compiled, tags, probes) == expected
+    finally:
+        vector.MIN_LANES = 64
+
+
+# -- equivalence: whole-trace lock-step --------------------------------------
+
+def _random_trace(lines, length, seed):
+    rng = SeededRng(seed).fork("trace")
+    return Trace(
+        f"rand-{seed}", tuple(rng.randrange(lines) * 64 for _ in range(length))
+    )
+
+
+@numpy_only
+@pytest.mark.parametrize("index_hash", ["bits", "xor-fold"])
+@pytest.mark.parametrize("name", [n for n, _ in all_deterministic_policies(4)])
+def test_trace_lockstep_bit_identical(name, index_hash, tiny_lanes):
+    from repro.policies import PolicyFactory, lru_spec
+
+    config = CacheConfig("t", 4 * 1024, 4, index_hash=index_hash)  # 16 sets
+    trace = _random_trace(lines=180, length=3000, seed=7)
+    compiled = compile_policy(build(name, 4))
+    stats = vector.simulate_trace_lockstep(trace, config, compiled)
+    assert stats is not None
+    kwargs = {"spec": lru_spec(4)} if name == "permutation" else {}
+    cache = Cache(config, PolicyFactory(name, **kwargs))
+    for address in trace:
+        cache.access(address)
+    assert stats == cache.stats
+
+
+@numpy_only
+def test_trace_routing_engages_vector(tiny_lanes):
+    obs_metrics.DEFAULT.reset()
+    config = CacheConfig("t", 4 * 1024, 4)
+    trace = _random_trace(lines=64, length=800, seed=3)
+    stats = try_simulate_trace(trace, config, "lru")
+    assert stats is not None
+    counters = obs_metrics.DEFAULT.snapshot()["counters"]
+    assert counters["kernel.vector.calls"] == 1
+    # The trace-mode kernel counters are engine-invariant.
+    assert counters["kernel.calls.trace"] == 1
+    assert counters["kernel.accesses"] == stats.accesses
+    assert counters["kernel.hits"] == stats.hits
+    assert counters["kernel.misses"] == stats.misses
+    assert counters["kernel.accesses"] == counters["kernel.hits"] + counters["kernel.misses"]
+
+
+@numpy_only
+def test_trace_lockstep_respects_disable():
+    config = CacheConfig("t", 4 * 1024, 4)
+    trace = _random_trace(lines=64, length=400, seed=5)
+    compiled = compile_policy(LruPolicy(4))
+    with vector_disabled():
+        assert vector.simulate_trace_lockstep(trace, config, compiled) is None
+
+
+def test_trace_scalar_path_when_tracer_active():
+    """A tracer keeps the scalar trace engine (per-state detail source)."""
+    from repro.obs import tracing
+
+    config = CacheConfig("t", 4 * 1024, 4)
+    trace = _random_trace(lines=64, length=400, seed=5)
+    obs_metrics.DEFAULT.reset()
+    with tracing(include=("kernel.",)) as tracer:
+        stats = try_simulate_trace(trace, config, "lru")
+    assert stats is not None
+    assert [e for e in tracer.events if e["kind"] == "kernel.run"]
+    counters = obs_metrics.DEFAULT.snapshot()["counters"]
+    assert "kernel.vector.calls" not in counters
+
+
+# -- counter accounting ------------------------------------------------------
+
+QUERIES = (
+    [(list(range(WAYS)), [5, 0, 6, 1])] * 5
+    + [([7, 8], [7, 9, 8])] * 3
+    + [([], [1, 1, 2])]
+)
+
+
+def _counters():
+    return obs_metrics.DEFAULT.snapshot()["counters"]
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_batch_counters_reconcile_with_per_query(engine, tiny_lanes):
+    """accesses = hits + misses per mode; batch == per-query modulo reuse."""
+    if engine == "vector" and not vector.available():
+        pytest.skip("numpy not installed")
+    compiled = compile_policy(LruPolicy(WAYS))
+
+    obs_metrics.DEFAULT.reset()
+    per_query = [count_misses_kernel(compiled, s, p) for s, p in QUERIES]
+    single = _counters()
+    assert single["kernel.accesses"] == single["kernel.hits"] + single["kernel.misses"]
+    assert "kernel.setup_reused" not in single
+
+    obs_metrics.DEFAULT.reset()
+    if engine == "scalar":
+        with vector_disabled():
+            batched = count_misses_batch(compiled, QUERIES)
+    else:
+        batched = count_misses_batch(compiled, QUERIES)
+    batch = _counters()
+    assert batched == per_query
+    assert batch["kernel.accesses"] == batch["kernel.hits"] + batch["kernel.misses"]
+    # The only difference between the paths is the skipped setup replays.
+    assert (
+        batch["kernel.accesses"] + batch["kernel.setup_reused"]
+        == single["kernel.accesses"]
+    )
+    # Reconcile hits too: each reused setup would have replayed the same
+    # hit pattern, so the skipped hits are per-setup hits times reuses.
+    skipped_hits = 0
+    with kernel_disabled():
+        for setup, reuses in ((tuple(range(WAYS)), 4), ((7, 8), 2), ((), 0)):
+            cache_set = CacheSet(WAYS, LruPolicy(WAYS))
+            setup_hits = sum(1 for b in setup if cache_set.access(b).hit)
+            skipped_hits += setup_hits * reuses
+    assert batch["kernel.hits"] + skipped_hits == single["kernel.hits"]
+
+
+@numpy_only
+def test_vector_counters_flush(tiny_lanes):
+    obs_metrics.DEFAULT.reset()
+    compiled = compile_policy(LruPolicy(WAYS))
+    count_misses_batch(compiled, QUERIES)
+    counters = _counters()
+    assert counters["kernel.vector.calls"] == 1
+    assert counters["kernel.vector.lanes"] == len(QUERIES)
+    assert counters["kernel.vector.accesses"] == counters["kernel.accesses"]
+
+
+def test_oracle_batch_costs_identical_across_engines():
+    """count_misses_many: oracle cost accounting is engine-invariant."""
+    results = {}
+    for mode in ("vector", "scalar", "interpreter"):
+        clear_compile_cache()
+        oracle = SimulatedSetOracle(LruPolicy(WAYS))
+        if mode == "interpreter":
+            with kernel_disabled():
+                counts = oracle.count_misses_many(QUERIES)
+        elif mode == "scalar":
+            with vector_disabled():
+                counts = oracle.count_misses_many(QUERIES)
+        else:
+            counts = oracle.count_misses_many(QUERIES)
+        results[mode] = (counts, oracle.measurements, oracle.accesses)
+    assert results["vector"] == results["scalar"] == results["interpreter"]
+
+
+# -- CachingOracle memo keys -------------------------------------------------
+
+class _CountingOracle(SimulatedSetOracle):
+    def __init__(self):
+        super().__init__(LruPolicy(WAYS))
+        self.calls = []
+
+    def count_misses(self, setup, probe):
+        self.calls.append((tuple(setup), tuple(probe)))
+        return super().count_misses(setup, probe)
+
+
+def test_caching_oracle_boundary_shift_no_collision():
+    """([1],[2,3]) and ([1,2],[3]) concatenate equally but never alias."""
+    inner = _CountingOracle()
+    oracle = CachingOracle(inner)
+    first = oracle.count_misses([1], [2, 3])
+    second = oracle.count_misses([1, 2], [3])
+    assert first == 2 and second == 1  # different answers, same concatenation
+    assert oracle.cache_misses == 2 and oracle.cache_hits == 0
+    assert len(inner.calls) == 2
+    # And the batch path keys identically to the sequential path.
+    assert oracle.count_misses_many([([1], [2, 3]), ([1, 2], [3])]) == [2, 1]
+    assert oracle.cache_hits == 2
+    assert len(inner.calls) == 2
+
+
+def test_caching_oracle_memo_key_is_nested():
+    key = CachingOracle.memo_key([1, 2], [3])
+    assert key == ((1, 2), (3,))
+    assert CachingOracle.memo_key([1], [2, 3]) != key
+
+
+# -- store: mmap loading -----------------------------------------------------
+
+@pytest.fixture
+def store_dir(tmp_path):
+    store.set_cache_dir(tmp_path)
+    yield tmp_path
+    store.set_cache_dir(None)
+
+
+def _persist_lru(store_dir):
+    compiled = compile_policy(LruPolicy(WAYS))
+    key = store.factory_key("lru", (), WAYS)
+    assert store.save(key, compiled)
+    return key, compiled
+
+
+def test_mmap_load_equals_buffered_load(store_dir):
+    key, original = _persist_lru(store_dir)
+    mapped = store.load(key)
+    with store.mmap_disabled():
+        buffered = store.load(key)
+    assert mapped is not None and buffered is not None
+    assert list(mapped.hit_next) == list(buffered.hit_next) == original.hit_next
+    assert list(mapped.miss_victim) == list(buffered.miss_victim)
+    assert mapped.num_states == buffered.num_states == original.num_states
+    assert mapped.frozen and buffered.frozen
+    # Mapped automata drive the scalar engine identically.
+    probe = [5, 0, 6, 1, 2, 7]
+    assert sequence_hits(mapped, list(range(WAYS)), probe) == sequence_hits(
+        original, list(range(WAYS)), probe
+    )
+
+
+def test_mmap_load_counters(store_dir):
+    key, _ = _persist_lru(store_dir)
+    obs_metrics.DEFAULT.reset()
+    assert store.load(key) is not None
+    counters = _counters()
+    assert counters["kernel.mmap.loads"] == 1
+    assert counters["kernel.mmap.bytes"] == store.artifact_path(key).stat().st_size
+    obs_metrics.DEFAULT.reset()
+    with store.mmap_disabled():
+        assert store.load(key) is not None
+    assert "kernel.mmap.loads" not in _counters()
+
+
+@numpy_only
+def test_mmap_load_attaches_vector_tables(store_dir):
+    key, _ = _persist_lru(store_dir)
+    mapped = store.load(key)
+    assert mapped.vector_tables is not None
+    assert vector.ensure_tables(mapped) is mapped.vector_tables
+    # Zero-copy: the numpy view aliases the same values as the lists.
+    assert mapped.vector_tables.hit_next.tolist() == list(mapped.hit_next)
+
+
+# -- store: concurrent-worker races ------------------------------------------
+
+def test_corrupt_artifact_unlinked_once(store_dir):
+    key, _ = _persist_lru(store_dir)
+    path = store.artifact_path(key)
+    path.write_bytes(b"not an artifact")
+    assert store.load(key) is None
+    assert not path.exists()
+
+
+def test_corrupt_unlink_skipped_when_replaced(store_dir, monkeypatch):
+    """A worker replacing the artifact mid-load keeps its fresh copy."""
+    key, compiled = _persist_lru(store_dir)
+    path = store.artifact_path(key)
+    good = path.read_bytes()
+    path.write_bytes(b"garbage from a torn write")
+
+    real_open = open
+    swapped = []
+
+    def racing_open(file, *args, **kwargs):
+        handle = real_open(file, *args, **kwargs)
+        if not swapped and str(file) == str(path):
+            swapped.append(True)
+            # Another worker re-persists a good artifact after we opened
+            # the corrupt one (atomic os.replace, so a new inode).
+            tmp = path.with_suffix(".rewrite")
+            tmp.write_bytes(good)
+            import os as _os
+
+            _os.replace(tmp, path)
+        return handle
+
+    monkeypatch.setattr("builtins.open", racing_open)
+    assert store.load(key) is None  # the corrupt bytes we read don't parse
+    monkeypatch.undo()
+    assert path.exists()  # ...but the replacement was NOT deleted
+    assert path.read_bytes() == good
+    assert store.load(key) is not None
+
+
+def test_corrupt_unlink_tolerates_removal(store_dir, monkeypatch):
+    """The artifact vanishing before the unlink is not an error."""
+    key, _ = _persist_lru(store_dir)
+    path = store.artifact_path(key)
+    path.write_bytes(b"junk")
+    real_stat = store.os.stat
+
+    def racing_stat(target, *args, **kwargs):
+        if str(target) == str(path):
+            path.unlink(missing_ok=True)
+        return real_stat(target, *args, **kwargs)
+
+    monkeypatch.setattr(store.os, "stat", racing_stat)
+    assert store.load(key) is None  # FileNotFoundError suppressed
+
+
+def test_clear_tolerates_concurrent_removal(store_dir, monkeypatch):
+    _persist_lru(store_dir)
+    paths = list(store._sweep_paths(store.cache_dir()))
+    assert paths
+    for path in paths:
+        path.unlink()  # another worker swept first
+    assert store.clear() == 0  # no raise, nothing left to count
+
+
+def test_clear_tolerates_unlink_errors(store_dir, monkeypatch):
+    key, _ = _persist_lru(store_dir)
+
+    def denied(self, *args, **kwargs):
+        raise PermissionError("locked by another worker")
+
+    monkeypatch.setattr(type(store.artifact_path(key)), "unlink", denied)
+    assert store.clear() == 0  # suppressed, not raised
+
+
+def test_stats_tolerates_concurrent_removal(store_dir):
+    key, _ = _persist_lru(store_dir)
+    store.artifact_path(key).unlink()
+    info = store.stats()
+    assert info["entries"] == 0
+
+
+# -- no-numpy fallback -------------------------------------------------------
+
+class TestNoNumpyFallback:
+    @pytest.fixture(autouse=True)
+    def _without_numpy(self, monkeypatch):
+        monkeypatch.setattr(vector, "_np", None)
+
+    def test_everything_returns_none(self):
+        compiled = compile_policy(LruPolicy(WAYS))
+        assert not vector.available()
+        assert not vector.vector_allowed()
+        assert vector.batch_outcomes(compiled, [([], [1])] * 16) is None
+        assert vector.preloaded_outcomes(compiled, [0, 1, 2, 3], [[1]] * 16) is None
+        config = CacheConfig("t", 4 * 1024, 4)
+        trace = _random_trace(lines=16, length=100, seed=1)
+        assert vector.simulate_trace_lockstep(trace, config, compiled) is None
+
+    def test_ensure_tables_tombstones(self):
+        compiled = compile_policy(LruPolicy(WAYS))
+        assert vector.ensure_tables(compiled) is None
+        assert compiled.vector_tables is False  # probe ran once, memoized
+
+    def test_engine_paths_still_bit_identical(self):
+        compiled = compile_policy(LruPolicy(WAYS))
+        queries = [(list(range(WAYS)), [5, 0, 6, 1])] * 9
+        expected = [sequence_hits(compiled, s, p) for s, p in queries]
+        assert sequence_hits_batch(compiled, queries) == expected
+        tags = [10, 11, 12, 13]
+        probes = [[14, 10, 15], [11, 12]] * 5
+        assert sequence_hits_preloaded_batch(compiled, tags, probes) == [
+            sequence_hits_preloaded(compiled, tags, probe) for probe in probes
+        ]
+
+    def test_store_load_without_numpy(self, store_dir):
+        key, original = _persist_lru(store_dir)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.vector_tables is None  # no numpy views attached
+        assert list(loaded.hit_next) == original.hit_next
+
+
+# -- switches ----------------------------------------------------------------
+
+def test_vector_enable_disable_switch():
+    from repro.kernels import set_vector_enabled, vector_enabled
+
+    assert vector_enabled()
+    set_vector_enabled(False)
+    try:
+        assert not vector_enabled()
+        assert not vector.vector_allowed()
+    finally:
+        set_vector_enabled(True)
+    with vector_disabled():
+        assert not vector_enabled()
+    assert vector_enabled()
+
+
+def test_cli_vector_flag_parses():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["evaluate", "--policies", "lru"])
+    assert args.vector is True
+    args = parser.parse_args(["evaluate", "--policies", "lru", "--no-vector"])
+    assert args.vector is False
