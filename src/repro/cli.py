@@ -10,6 +10,7 @@ Subcommands mirror the library's two halves:
 * ``query`` — run one CacheQuery-notation access sequence;
 * ``trace`` — replay/filter a JSONL trace file written by ``--trace``;
 * ``cache`` — inspect/warm/clear the on-disk automaton store;
+* ``db`` — inspect/clear/export the persistent measurement database;
 * ``report`` — summarize or diff ``*.ledger.json`` run manifests.
 
 The measurement-driving subcommands accept ``--trace FILE`` (stream
@@ -17,7 +18,10 @@ structured events to a JSONL file) and ``--metrics FILE`` (write an
 ExperimentResult metrics sidecar plus a ``*.ledger.json`` run manifest
 next to it); see OBSERVABILITY.md.  ``--metrics`` composes with the
 compiled kernel — only ``--trace`` (which wants per-access events)
-routes simulation through the interpreter.
+routes simulation through the interpreter.  ``--cache-dir DIR`` points
+*both* persistent stores (compiled automata and the measurement DB) at
+one directory; ``infer --db`` persists measurements so a warm rerun
+reports ``db.miss == 0`` in its ledger.
 """
 
 from __future__ import annotations
@@ -96,6 +100,17 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     oracle = HardwareSetOracle(platform, args.level)
     if args.repetitions > 1:
         oracle = VotingOracle(oracle, repetitions=args.repetitions)
+    if args.db:
+        from repro import measuredb
+
+        wrapped = measuredb.wrap_if_enabled(oracle)
+        if wrapped is oracle:
+            print(
+                "note: oracle reports no provenance (noisy platform?); "
+                "measurement DB not used",
+                file=sys.stderr,
+            )
+        oracle = wrapped
     finding = reverse_engineer(oracle)
     print(f"processor : {spec.name}")
     print(f"level     : {args.level} ({platform.level_config(args.level).describe()})")
@@ -279,6 +294,16 @@ def _add_kernel_options(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_options(command: argparse.ArgumentParser) -> None:
+    """Attach the shared persistent-store directory option."""
+    command.add_argument(
+        "--cache-dir", metavar="DIR", default=None, dest="cache_dir",
+        help="directory for both persistent stores — compiled automata "
+        "and the measurement DB (default: $REPRO_CACHE_DIR or "
+        "./.repro-cache)",
+    )
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.kernels import store
 
@@ -351,6 +376,57 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             store.set_cache_dir(previous_dir)
 
 
+def _cmd_db(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import measuredb
+
+    previous_dir = None if args.dir is None else measuredb.db_dir()
+    if args.dir is not None:
+        measuredb.set_db_dir(args.dir)
+        measuredb.reset()
+    try:
+        if args.action == "stats":
+            info = measuredb.stats()
+            rows = [[entry["scope"], entry["rows"]] for entry in info["scopes"]]
+            print(
+                format_table(
+                    ["scope", "rows"],
+                    rows,
+                    title=f"measurement DB @ {info['path']}",
+                )
+            )
+            print(
+                f"rows: {info['total_rows']} in {len(info['scopes'])} scope(s), "
+                f"total {info['total_bytes']} bytes, "
+                f"schema v{info['schema_version']}, "
+                f"{'enabled' if info['enabled'] else 'disabled'}"
+            )
+            return 0
+        if args.action == "clear":
+            removed = measuredb.clear(args.scope)
+            which = f"scope {args.scope!r}" if args.scope else "all scopes"
+            print(f"removed {removed} row(s) ({which}) from {measuredb.db_path()}")
+            return 0
+        # export: JSON-lines rows, to stdout or --output.
+        rows_iter = measuredb.export_rows(args.scope)
+        if args.output:
+            count = 0
+            with open(args.output, "w", encoding="utf-8") as sink:
+                for row in rows_iter:
+                    sink.write(json.dumps(row) + "\n")
+                    count += 1
+            print(f"exported {count} row(s) to {args.output}")
+        else:
+            for row in rows_iter:
+                print(json.dumps(row))
+        return 0
+    finally:
+        if args.dir is not None:
+            measuredb.set_db_dir(previous_dir)
+            measuredb.reset()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -372,8 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--seed", type=int, default=0)
     infer.add_argument("--check", action="store_true",
                        help="compare against the catalog ground truth")
+    infer.add_argument("--db", action="store_true",
+                       help="persist measurements in the measurement DB; a "
+                       "warm rerun reports db.miss == 0 in its ledger")
     _add_obs_options(infer)
     _add_kernel_options(infer)
+    _add_cache_options(infer)
 
     evaluate = sub.add_parser("evaluate", help="miss-ratio table over the workload suite")
     evaluate.add_argument("--policies", default=",".join(default_policies("eval")))
@@ -385,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the grid (0 = serial)")
     _add_obs_options(evaluate)
     _add_kernel_options(evaluate)
+    _add_cache_options(evaluate)
 
     bench = sub.add_parser(
         "bench",
@@ -405,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the resulting miss-ratio table")
     _add_obs_options(bench)
     _add_kernel_options(bench)
+    _add_cache_options(bench)
 
     predict = sub.add_parser("predictability", help="evict/fill metrics table")
     predict.add_argument(
@@ -427,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=0)
     _add_obs_options(query)
     _add_kernel_options(query)
+    _add_cache_options(query)
 
     trace = sub.add_parser(
         "trace",
@@ -462,6 +545,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--stale-only", action="store_true",
                        help="clear: only artifacts from other schema versions")
 
+    db = sub.add_parser(
+        "db",
+        help="manage the persistent measurement database",
+        description="Example: repro-cache db stats, then repro-cache db "
+        "export --scope 'sim|policy:lru|()|ways=4' --output rows.jsonl",
+    )
+    db.add_argument("action", choices=("stats", "clear", "export"),
+                    help="inspect, empty, or dump the measurement store")
+    db.add_argument("--dir", default=None,
+                    help="database directory (default: shared with the "
+                    "automaton store: $REPRO_CACHE_DIR or ./.repro-cache)")
+    db.add_argument("--scope", default=None,
+                    help="restrict clear/export to one provenance scope")
+    db.add_argument("--output", default=None, metavar="FILE",
+                    help="export: write JSON lines here instead of stdout")
+
     report = sub.add_parser(
         "report",
         help="summarize or diff *.ledger.json run manifests",
@@ -485,6 +584,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "trace": _cmd_trace,
     "cache": _cmd_cache,
+    "db": _cmd_db,
     "report": _cmd_report,
 }
 
@@ -522,6 +622,17 @@ def _run_with_observability(args: argparse.Namespace) -> int:
     set_kernel_enabled(getattr(args, "kernel", kernel_before))
     vector_before = vector_enabled()
     set_vector_enabled(getattr(args, "vector", vector_before))
+    cache_dir = getattr(args, "cache_dir", None)
+    cache_dir_before = None
+    if cache_dir is not None:
+        # One switch moves both persistent stores: the measurement DB's
+        # directory follows the automaton store's unless overridden.
+        from repro import measuredb
+        from repro.kernels import store
+
+        cache_dir_before = store.cache_dir()
+        store.set_cache_dir(cache_dir)
+        measuredb.reset()
     DEFAULT.reset()
     obs_spans.reset()
     start = time.perf_counter()
@@ -538,6 +649,12 @@ def _run_with_observability(args: argparse.Namespace) -> int:
     finally:
         set_kernel_enabled(kernel_before)
         set_vector_enabled(vector_before)
+        if cache_dir is not None:
+            from repro import measuredb
+            from repro.kernels import store
+
+            store.set_cache_dir(cache_dir_before)
+            measuredb.reset()
     wall_seconds = time.perf_counter() - start
     if metrics_file is not None:
         result = ExperimentResult(

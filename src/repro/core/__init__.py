@@ -49,8 +49,10 @@ from repro.core.naming import known_specs, name_spec
 from repro.core.oracle import (
     CachingOracle,
     MissCountOracle,
+    OracleProtocol,
     SimulatedSetOracle,
     VotingOracle,
+    policy_provenance,
 )
 from repro.core.permutation import (
     canonical_form,
@@ -84,6 +86,8 @@ __all__ = [
     "GeometryInference",
     "PlatformAddressOracle",
     "MissCountOracle",
+    "OracleProtocol",
+    "policy_provenance",
     "SimulatedSetOracle",
     "VotingOracle",
     "CachingOracle",

@@ -163,7 +163,20 @@ class InferenceResult:
 
 
 class PermutationInference:
-    """Reverse engineers one cache set through a miss-count oracle."""
+    """Reverse engineers one cache set through a miss-count oracle.
+
+    Measurements are issued through the scalar ``count_misses`` wrapper
+    of the :class:`~repro.core.oracle.OracleProtocol` surface on
+    purpose: every stage is *adaptive* — each request (how deep to
+    evict, whether to keep scanning) depends on the previous answer, so
+    there is no batch to form and the early exits are what the paper's
+    cost model counts.  Batching lives below the oracle (the kernel's
+    batched engines, the measurement DB's preloaded memo), not here.
+    Wrap the oracle in :class:`repro.measuredb.MeasurementDBOracle` to
+    persist the measurements; its logical cost accounting keeps the
+    resulting :class:`InferenceResult` bit-identical between cold and
+    DB-served runs.
+    """
 
     def __init__(
         self,

@@ -1,16 +1,32 @@
 """Measurement oracles: the only window inference has onto a cache.
 
 The paper's algorithms never see replacement state; they run access
-sequences and read a miss counter.  :class:`MissCountOracle` captures
-exactly that capability.  One *measurement* is
+sequences and read a miss counter.  One *measurement* is
 
-    ``count_misses(setup, probe) -> number of probe misses``
+    ``(setup, probe) -> number of probe misses``
 
 where ``setup`` is run first (uncounted, used to establish a state) and
 ``probe`` is the counted part.  Every measurement starts from an
 equivalent fresh environment, mirroring how the paper restarts each
 experiment; sequences are lists of abstract *block ids*, each id denoting
 a distinct memory block mapping to the probed cache set.
+
+**The protocol.**  :class:`OracleProtocol` is the single oracle surface:
+the canonical entry point is the *batched* :meth:`~OracleProtocol.query`
+(``requests -> miss counts``), which lets implementations answer a whole
+batch in one kernel/vector engine call or one measurement-DB pass.
+:meth:`~OracleProtocol.provenance` names what is being measured — the
+stable identity that keys the persistent measurement database
+(:mod:`repro.measuredb`); oracles whose answers are not a pure function
+of the request (randomized policies, noisy hardware) return ``None``
+and are thereby refused persistence.
+
+:class:`MissCountOracle` keeps the scalar ``count_misses`` as the
+measurement *primitive* for adaptive algorithms (inference decides each
+request from the previous answer); its default ``query`` loops over it,
+and subclasses override ``query`` with real batch paths.  The legacy
+``count_misses_many`` shape survives as a thin deprecated wrapper over
+``query``.
 
 Implementations:
 
@@ -24,7 +40,8 @@ Implementations:
 * :class:`VotingOracle` — repeats measurements and takes a per-sequence
   majority vote, the paper's defence against counter noise.
 * :class:`CachingOracle` — memoizes identical ``(setup, probe)``
-  measurements against a deterministic inner oracle.
+  measurements against a deterministic inner oracle (per-process; the
+  cross-process sibling is :class:`repro.measuredb.MeasurementDBOracle`).
 
 Simulated measurements additionally route through the compiled kernel
 (:mod:`repro.kernels`) when it is enabled and no active tracer wants
@@ -35,6 +52,7 @@ identical on both paths.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from collections import Counter
 from collections.abc import Sequence
@@ -42,20 +60,97 @@ from collections.abc import Sequence
 from repro.errors import KernelUnsupported, MeasurementError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.policies import ReplacementPolicy
+from repro.policies import PermutationPolicy, ReplacementPolicy
 from repro.cache.set import CacheSet
 from repro import kernels
 
 
-class MissCountOracle(ABC):
-    """Counts the misses a probe sequence suffers in one cache set."""
+def policy_provenance(policy: ReplacementPolicy) -> str | None:
+    """Stable identity of a *deterministic* policy, or None.
+
+    The provenance string keys the persistent measurement database, so
+    it must (a) uniquely determine the policy's measurable behaviour and
+    (b) exist only when that behaviour is reproducible:
+
+    * registry-built instances carry a ``_registry_key`` provenance
+      stamp (name + sorted params, see
+      :meth:`repro.policies.registry.PolicyFactory.build`) — combined
+      with the associativity that pins the automaton exactly;
+    * a :class:`~repro.policies.PermutationPolicy` is identified by a
+      content digest of its permutation vectors;
+    * randomized policies and bare unregistered instances (whose
+      constructor params are unknowable here) return None.
+    """
+    if isinstance(policy, PermutationPolicy):
+        spec = policy.spec
+        payload = repr((spec.ways, spec.hit_perms, spec.miss_perm)).encode()
+        digest = hashlib.blake2s(payload, digest_size=8).hexdigest()
+        return f"spec:{digest}|ways={spec.ways}"
+    if not type(policy).DETERMINISTIC:
+        return None
+    key = getattr(policy, "_registry_key", None)
+    if key is None:
+        return None
+    name, params = key
+    return f"policy:{name}|{params!r}|ways={policy.ways}"
+
+
+class OracleProtocol(ABC):
+    """The unified oracle surface: batched queries plus provenance.
+
+    ``query`` is the canonical call shape every oracle implements; the
+    scalar/legacy shapes (``count_misses``, ``count_misses_many``) are
+    wrappers layered on top by :class:`MissCountOracle`.  Results are
+    returned in request order and are bit-identical to issuing the
+    requests one at a time — batching is an execution strategy, never a
+    semantic change.
+    """
 
     #: Associativity if known to the experimenter, else None (must be inferred).
     ways: int | None = None
 
     @abstractmethod
+    def query(
+        self, requests: Sequence[tuple[Sequence[int], Sequence[int]]]
+    ) -> list[int]:
+        """Miss counts for a batch of ``(setup, probe)`` requests, in order."""
+
+    def provenance(self) -> str | None:
+        """Stable identity of the measured substrate, or None.
+
+        None means the oracle's answers are not a reproducible function
+        of the request (noise, randomness) and must not be persisted.
+        """
+        return None
+
+
+class MissCountOracle(OracleProtocol):
+    """Oracle built on a scalar measurement primitive.
+
+    Subclasses implement :meth:`count_misses` (one measurement) and may
+    override :meth:`query` with a genuinely batched path; the default
+    implementation loops, so every scalar-only oracle still satisfies
+    the full protocol.
+    """
+
+    @abstractmethod
     def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
         """Run ``setup`` then ``probe`` from a fresh state; count probe misses."""
+
+    def query(
+        self, requests: Sequence[tuple[Sequence[int], Sequence[int]]]
+    ) -> list[int]:
+        return [self.count_misses(setup, probe) for setup, probe in requests]
+
+    def count_misses_many(
+        self, queries: Sequence[tuple[Sequence[int], Sequence[int]]]
+    ) -> list[int]:
+        """Deprecated alias for :meth:`query` (the pre-protocol batch shape).
+
+        Kept as a thin wrapper for existing call sites; new code should
+        call ``query`` directly.
+        """
+        return self.query(queries)
 
     #: Number of measurements performed (for the cost evaluation).
     measurements: int = 0
@@ -104,6 +199,10 @@ class SimulatedSetOracle(MissCountOracle):
         self.measurements = 0
         self.accesses = 0
 
+    def provenance(self) -> str | None:
+        identity = policy_provenance(self._prototype)
+        return f"sim|{identity}" if identity is not None else None
+
     def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
         # Compiled fast path: same measurement as the interpreted loop
         # below (bit-identical by the kernel's equivalence suite), taken
@@ -130,8 +229,8 @@ class SimulatedSetOracle(MissCountOracle):
         self._note_measurement(len(setup), len(probe), misses)
         return misses
 
-    def count_misses_many(
-        self, queries: Sequence[tuple[Sequence[int], Sequence[int]]]
+    def query(
+        self, requests: Sequence[tuple[Sequence[int], Sequence[int]]]
     ) -> list[int]:
         """Answer many ``(setup, probe)`` measurements in order.
 
@@ -142,19 +241,19 @@ class SimulatedSetOracle(MissCountOracle):
         ``accesses``, ``oracle.*`` metrics and events) are bit-identical
         to looping over :meth:`count_misses`.
         """
-        queries = list(queries)
-        if len(queries) > 1 and kernels.kernel_allowed():
+        requests = list(requests)
+        if len(requests) > 1 and kernels.kernel_allowed():
             compiled = kernels.compiled_for(self._prototype)
             if compiled is not None:
                 try:
-                    counts = kernels.count_misses_batch(compiled, queries)
+                    counts = kernels.count_misses_batch(compiled, requests)
                 except KernelUnsupported:
                     kernels.mark_unsupported(self._prototype)
                 else:
-                    for (setup, probe), misses in zip(queries, counts):
+                    for (setup, probe), misses in zip(requests, counts):
                         self._note_measurement(len(setup), len(probe), misses)
                     return counts
-        return [self.count_misses(setup, probe) for setup, probe in queries]
+        return [self.count_misses(setup, probe) for setup, probe in requests]
 
 
 class VotingOracle(MissCountOracle):
@@ -189,6 +288,27 @@ class VotingOracle(MissCountOracle):
         self.aggregate = aggregate
         self.ways = inner.ways
 
+    def provenance(self) -> str | None:
+        inner = self._inner.provenance()
+        if inner is None:
+            return None
+        return f"vote[{self.aggregate}x{self.repetitions}]|{inner}"
+
+    def _note_vote(self, counts: list[int], result: int) -> None:
+        """Per-request vote bookkeeping, shared by scalar and batch paths."""
+        disagreements = sum(1 for count in counts if count != result)
+        if disagreements:
+            obs_metrics.DEFAULT.incr("oracle.vote_disagreements", disagreements)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                "oracle.vote",
+                aggregate=self.aggregate,
+                repetitions=self.repetitions,
+                counts=counts,
+                result=result,
+            )
+
     def count_misses(self, setup: Sequence[int], probe: Sequence[int]) -> int:
         if self.aggregate == "majority":
             # Short-circuit: once one count holds a strict majority
@@ -218,19 +338,70 @@ class VotingOracle(MissCountOracle):
                 result = min(counts)
             else:
                 result = sorted(counts)[len(counts) // 2]
-        disagreements = sum(1 for count in counts if count != result)
-        if disagreements:
-            obs_metrics.DEFAULT.incr("oracle.vote_disagreements", disagreements)
-        tracer = obs_trace.ACTIVE
-        if tracer is not None:
-            tracer.emit(
-                "oracle.vote",
-                aggregate=self.aggregate,
-                repetitions=self.repetitions,
-                counts=counts,
-                result=result,
-            )
+        self._note_vote(counts, result)
         return result
+
+    def query(
+        self, requests: Sequence[tuple[Sequence[int], Sequence[int]]]
+    ) -> list[int]:
+        """Batched voting: whole repetition rounds ride the inner batch path.
+
+        ``majority`` proceeds in rounds — one inner :meth:`query` over
+        the still-undecided requests per round — so each request
+        consumes exactly as many inner measurements as the scalar
+        short-circuit would (a request decided in round *k* took *k*
+        samples).  ``min``/``median`` flatten to ``repetitions``
+        consecutive copies per request, matching the scalar loop's
+        measurement stream order exactly.  Against a deterministic
+        inner oracle (the only kind with a real batch fast path),
+        results and per-request sample counts are bit-identical to
+        looping over :meth:`count_misses`; against a noisy oracle the
+        *interleaving* of noise draws differs between the two shapes,
+        as it would between any two measurement schedules.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if self.aggregate == "majority":
+            decisive = self.repetitions // 2 + 1
+            tallies: list[Counter[int]] = [Counter() for _ in requests]
+            counts_per: list[list[int]] = [[] for _ in requests]
+            results: list[int | None] = [None] * len(requests)
+            undecided = list(range(len(requests)))
+            for _ in range(self.repetitions):
+                if not undecided:
+                    break
+                measured = self._inner.query([requests[i] for i in undecided])
+                still: list[int] = []
+                for index, count in zip(undecided, measured):
+                    counts_per[index].append(count)
+                    tallies[index][count] += 1
+                    if tallies[index][count] >= decisive:
+                        results[index] = count
+                    else:
+                        still.append(index)
+                undecided = still
+            for index in range(len(requests)):
+                if results[index] is None:
+                    results[index] = tallies[index].most_common(1)[0][0]
+        else:
+            flat: list[tuple[Sequence[int], Sequence[int]]] = []
+            for request in requests:
+                flat.extend([request] * self.repetitions)
+            measured = self._inner.query(flat)
+            counts_per = [
+                measured[i * self.repetitions : (i + 1) * self.repetitions]
+                for i in range(len(requests))
+            ]
+            if self.aggregate == "min":
+                results = [min(counts) for counts in counts_per]
+            else:
+                results = [
+                    sorted(counts)[len(counts) // 2] for counts in counts_per
+                ]
+        for counts, result in zip(counts_per, results):
+            self._note_vote(counts, result)
+        return list(results)
 
     @property
     def measurements(self) -> int:  # type: ignore[override]
@@ -263,6 +434,9 @@ class CachingOracle(MissCountOracle):
     cached on the exact sequence pair and served back for free — cached
     answers perform no inner measurement and therefore do not advance the
     ``measurements``/``accesses`` cost counters, which is the point.
+    (:class:`repro.measuredb.MeasurementDBOracle` is the persistent
+    sibling with the opposite accounting choice: it keeps the logical
+    cost model intact so cold and warm inference results compare equal.)
 
     Do **not** wrap a noisy oracle directly: caching freezes the first
     noisy sample.  Put the :class:`VotingOracle` *inside* the cache
@@ -278,6 +452,10 @@ class CachingOracle(MissCountOracle):
         self.cache_hits = 0
         self.cache_misses = 0
 
+    def provenance(self) -> str | None:
+        # Pure memoization: measurably identical to the inner oracle.
+        return self._inner.provenance()
+
     @staticmethod
     def memo_key(
         setup: Sequence[int], probe: Sequence[int]
@@ -289,7 +467,9 @@ class CachingOracle(MissCountOracle):
         different misses, so the key must never flatten the pair into one
         sequence (or join it with any in-band separator an id could
         collide with).  Every cache path keys through here so the
-        invariant lives in one place.
+        invariant lives in one place (the measurement DB's
+        :func:`repro.measuredb.request_digest` hashes the same nested
+        shape).
         """
         return (tuple(setup), tuple(probe))
 
@@ -306,28 +486,28 @@ class CachingOracle(MissCountOracle):
         self._cache[key] = result
         return result
 
-    def count_misses_many(
-        self, queries: Sequence[tuple[Sequence[int], Sequence[int]]]
+    def query(
+        self, requests: Sequence[tuple[Sequence[int], Sequence[int]]]
     ) -> list[int]:
-        """Answer a batch of ``(setup, probe)`` queries in order.
+        """Answer a batch of ``(setup, probe)`` requests in order.
 
         Duplicates within the batch are measured once (later occurrences
         are cache hits, exactly as in the sequential loop), and the
-        deduplicated misses are dispatched to the inner oracle's own
-        ``count_misses_many`` when it has one — for a
+        deduplicated misses are dispatched through the inner oracle's
+        own :meth:`~OracleProtocol.query` — for a
         :class:`SimulatedSetOracle` that is one batched kernel call for
         the whole list.  Results and hit/miss accounting are
         bit-identical to looping over :meth:`count_misses`.
         """
-        queries = [self.memo_key(setup, probe) for setup, probe in queries]
-        pending: dict[tuple, int] = {}
+        keys = [self.memo_key(setup, probe) for setup, probe in requests]
+        pending: set[tuple] = set()
         to_measure: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
         hits = 0
-        for key in queries:
+        for key in keys:
             if key in self._cache or key in pending:
                 hits += 1
             else:
-                pending[key] = len(to_measure)
+                pending.add(key)
                 to_measure.append(key)
         self.cache_hits += hits
         self.cache_misses += len(to_measure)
@@ -335,17 +515,10 @@ class CachingOracle(MissCountOracle):
             obs_metrics.DEFAULT.incr("oracle.cache_hits", hits)
         if to_measure:
             obs_metrics.DEFAULT.incr("oracle.cache_misses", len(to_measure))
-            inner_many = getattr(self._inner, "count_misses_many", None)
-            if inner_many is not None:
-                measured = inner_many(to_measure)
-            else:
-                measured = [
-                    self._inner.count_misses(setup, probe)
-                    for setup, probe in to_measure
-                ]
+            measured = self._inner.query(to_measure)
             for key, result in zip(to_measure, measured):
                 self._cache[key] = result
-        return [self._cache[key] for key in queries]
+        return [self._cache[key] for key in keys]
 
     def clear_cache(self) -> None:
         """Drop every memoized measurement and zero the hit/miss counters."""

@@ -169,6 +169,23 @@ class HardwareSetOracle(MissCountOracle):
         self.measurements = 0
         self.accesses = 0
 
+    def provenance(self) -> str | None:
+        """Identity for the measurement DB — zero-noise platforms only.
+
+        With any noise rate active, repeated identical measurements may
+        legitimately disagree (the whole reason :class:`VotingOracle`
+        exists), so there is no reproducible value to persist and the
+        oracle reports no provenance.  A noise-free platform is a pure
+        function of ``(spec, seed, level, set)`` and caches cleanly.
+        """
+        noise = self.platform.spec.noise
+        if noise.counter_noise_rate or noise.background_rate or noise.prefetch_rate:
+            return None
+        return (
+            f"hw|{self.platform.spec.name}|{self.level}"
+            f"|set={self.set_index}|seed={self.platform.seed}"
+        )
+
     # -- block id management -------------------------------------------------
     def _address(self, block: int) -> int:
         if block not in self._block_to_address:

@@ -35,6 +35,7 @@ class HardwarePlatform:
 
     def __init__(self, spec: ProcessorSpec, seed: int = 0) -> None:
         self.spec = spec
+        self.seed = seed
         rng = SeededRng(seed)
         self._noise_rng = rng.fork("noise")
         self.memory = VirtualMemory(page_size=spec.page_size, rng=rng.fork("vm"))

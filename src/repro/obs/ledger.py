@@ -314,6 +314,9 @@ KEY_COUNTERS = (
     "oracle.measurements",
     "oracle.accesses",
     "oracle.cache_hits",
+    "db.hit",
+    "db.miss",
+    "db.write",
     "kernel.calls",
     "kernel.accesses",
     "kernel.compile.hit",

@@ -88,6 +88,7 @@ def _run_chunk(fn, indexed_tasks, capture=None):
             rows.append((index, value, time.perf_counter() - start))
         return rows, None, None
 
+    restore_measuredb = _apply_measuredb_spec(capture.get("measuredb"))
     local = obs_metrics.Metrics()
     tracer = None
     if capture.get("trace"):
@@ -107,6 +108,7 @@ def _run_chunk(fn, indexed_tasks, capture=None):
     finally:
         obs_metrics.DEFAULT = previous_metrics
         obs_trace.ACTIVE = previous_tracer
+        restore_measuredb()
     events = tracer.events if tracer is not None else None
     shard_dir = capture.get("shard_dir")
     if events and shard_dir:
@@ -115,6 +117,35 @@ def _run_chunk(fn, indexed_tasks, capture=None):
             for event in events:
                 writer(event)
     return rows, local.snapshot(), events
+
+
+def _apply_measuredb_spec(spec) -> Callable[[], None]:
+    """Point this process's measurement DB at the parent's; returns undo.
+
+    Start-method-proof: a forked worker inherits the parent's overrides
+    already, but a spawned one starts from defaults, and either way the
+    explicit directory in the spec is what makes every worker share the
+    *same* database file (WAL mode handles the concurrent writers).
+    """
+    if spec is None:
+        return lambda: None
+    from repro import measuredb
+
+    previous = (
+        measuredb.db_dir(),
+        measuredb.db_enabled(),
+        measuredb.hits_cache_enabled(),
+    )
+    measuredb.set_db_dir(spec["dir"])
+    measuredb.set_db_enabled(spec["enabled"])
+    measuredb.set_hits_cache_enabled(spec.get("hits", False))
+
+    def restore() -> None:
+        measuredb.set_db_dir(previous[0])
+        measuredb.set_db_enabled(previous[1])
+        measuredb.set_hits_cache_enabled(previous[2])
+
+    return restore
 
 
 class ExperimentRunner:
@@ -226,7 +257,14 @@ class ExperimentRunner:
         worker's store into the parent's is what keeps ``--jobs N``
         counters identical to a serial run.
         """
+        from repro import measuredb
+
         spec: dict = {"span_parent": obs_spans.current_span()}
+        spec["measuredb"] = {
+            "dir": str(measuredb.db_dir()),
+            "enabled": measuredb.db_enabled(),
+            "hits": measuredb.hits_cache_enabled(),
+        }
         tracer = obs_trace.ACTIVE
         if tracer is not None:
             spec["trace"] = True

@@ -23,17 +23,26 @@ RANDOMIZED = ["random", "bip", "dip", "brrip", "drrip"]
 
 @pytest.fixture(autouse=True)
 def _isolated_automaton_store(tmp_path_factory):
-    """Route the on-disk automaton store to a per-test temp directory.
+    """Route the on-disk stores to a per-test temp directory.
 
-    The store defaults to a repo-local ``.repro-cache/``; tests must
-    neither read a developer's warm cache (hiding cold-path bugs) nor
-    litter the working tree.
+    The automaton store (and with it the measurement DB, whose directory
+    follows the store's) defaults to a repo-local ``.repro-cache/``;
+    tests must neither read a developer's warm cache (hiding cold-path
+    bugs) nor litter the working tree.  The measurement DB's handle and
+    service memos are dropped on both sides so no state crosses tests.
     """
+    from repro import measuredb
     from repro.kernels import store
 
     store.set_cache_dir(tmp_path_factory.mktemp("repro-cache"))
+    measuredb.set_db_dir(None)
+    measuredb.set_hits_cache_enabled(False)
+    measuredb.reset()
     yield
     store.set_cache_dir(None)
+    measuredb.set_db_dir(None)
+    measuredb.set_hits_cache_enabled(False)
+    measuredb.reset()
 
 
 @pytest.fixture
