@@ -148,7 +148,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     matrix = None
     for repetition in range(args.repeat):
         clear_memo()  # time real simulation work, not cache hits
-        runner = ExperimentRunner(jobs=args.jobs)
+        runner = ExperimentRunner(
+            jobs=args.jobs,
+            reuse_pool=not args.fresh_pool,
+            start_method=args.start_method,
+        )
         start = time.perf_counter()
         matrix = miss_ratio_matrix(
             traces, config, policies, seed=args.seed, runner=runner
@@ -482,6 +486,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the grid (0 = serial)")
     bench.add_argument("--repeat", type=int, default=1,
                        help="repeat the timed grid this many times")
+    bench.add_argument("--fresh-pool", action="store_true",
+                       help="tear the worker pool down after every "
+                       "repetition instead of reusing the persistent "
+                       "pool (baseline for runner.pool.* comparisons)")
+    bench.add_argument("--start-method", default=None,
+                       choices=("fork", "spawn", "forkserver"),
+                       help="multiprocessing start method for pool "
+                       "workers (default: platform default)")
     bench.add_argument("--show-matrix", action="store_true",
                        help="also print the resulting miss-ratio table")
     _add_obs_options(bench)

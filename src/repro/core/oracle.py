@@ -53,6 +53,7 @@ identical on both paths.
 from __future__ import annotations
 
 import hashlib
+import warnings
 from abc import ABC, abstractmethod
 from collections import Counter
 from collections.abc import Sequence
@@ -147,9 +148,14 @@ class MissCountOracle(OracleProtocol):
     ) -> list[int]:
         """Deprecated alias for :meth:`query` (the pre-protocol batch shape).
 
-        Kept as a thin wrapper for existing call sites; new code should
-        call ``query`` directly.
+        Kept as a thin warning wrapper for external call sites; all
+        internal callers use ``query`` directly.
         """
+        warnings.warn(
+            "count_misses_many() is deprecated; use OracleProtocol.query()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.query(queries)
 
     #: Number of measurements performed (for the cost evaluation).

@@ -323,6 +323,12 @@ KEY_COUNTERS = (
     "kernel.compile.load",
     "kernel.compile.miss",
     "runner.chunk_retries",
+    "runner.pool.spawned",
+    "runner.pool.reused",
+    "runner.pool.restarted",
+    "runner.shm.broadcasts",
+    "runner.shm.bytes",
+    "runner.shm.fallbacks",
 )
 
 

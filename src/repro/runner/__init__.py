@@ -1,7 +1,9 @@
 """Parallel experiment runner for the evaluation grids.
 
-See :mod:`repro.runner.core` for the scheduling/fault model and
-:mod:`repro.runner.cells` for the simulation cell + memoization layer.
+See :mod:`repro.runner.core` for the scheduling/fault model,
+:mod:`repro.runner.cells` for the simulation cell + memoization layer,
+:mod:`repro.runner.pool` for the process-wide persistent worker pool
+and :mod:`repro.runner.shm` for the shared-memory transport plane.
 """
 
 from repro.runner.cells import (
@@ -15,17 +17,34 @@ from repro.runner.cells import (
     trace_fingerprint,
 )
 from repro.runner.core import CellTiming, ExperimentRunner, ProgressHook
+from repro.runner.pool import WorkerPool, get_pool, pool_stats, shutdown_pool
+from repro.runner.shm import (
+    SharedTrace,
+    set_shm_enabled,
+    share_trace,
+    shm_disabled,
+    shm_enabled,
+)
 
 __all__ = [
     "CellResult",
     "CellTiming",
     "ExperimentRunner",
     "ProgressHook",
+    "SharedTrace",
     "SimCell",
+    "WorkerPool",
     "clear_memo",
     "derive_cell_seed",
+    "get_pool",
     "memo_size",
+    "pool_stats",
     "run_sim_cells",
+    "set_shm_enabled",
+    "share_trace",
+    "shm_disabled",
+    "shm_enabled",
+    "shutdown_pool",
     "simulate_cell",
     "trace_fingerprint",
 ]

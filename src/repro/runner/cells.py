@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 from array import array
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.cache import Cache, CacheConfig, CacheStats
 from repro.kernels import try_simulate_trace
@@ -164,6 +164,31 @@ def _prewarm_automata(cells: Sequence[SimCell]) -> None:
         store.warm(ordered)
 
 
+def _share_cell_traces(cells: Sequence[SimCell]) -> list[SimCell]:
+    """Swap large traces for shared-memory twins before a parallel map.
+
+    Each distinct trace's address payload is broadcast once per pool
+    (:func:`repro.runner.shm.share_trace`); the cells then pickle as
+    tiny handles instead of megabyte address tuples.  Cells whose trace
+    is small — or when shm is unavailable — pass through unchanged, and
+    results are unaffected either way: a :class:`SharedTrace` has the
+    same name, addresses and fingerprint as the original.
+    """
+    from repro.runner import shm as runner_shm
+
+    if not runner_shm.shm_enabled():
+        return list(cells)
+    shared_of: dict[int, Trace | None] = {}
+    out = []
+    for cell in cells:
+        key = id(cell.trace)
+        if key not in shared_of:
+            shared_of[key] = runner_shm.share_trace(cell.trace)
+        shared = shared_of[key]
+        out.append(replace(cell, trace=shared) if shared is not None else cell)
+    return out
+
+
 #: Process-wide memoization cache: memo_key -> CellResult.
 _MEMO: dict[tuple, CellResult] = {}
 
@@ -197,9 +222,11 @@ def run_sim_cells(
         runner = ExperimentRunner(jobs=jobs)
     cells = list(cells)
     if not memoize:
+        labels = [cell.label for cell in cells]
         if runner.parallel and cells:
             _prewarm_automata(cells)
-        return runner.map(simulate_cell, cells, labels=[cell.label for cell in cells])
+            cells = _share_cell_traces(cells)
+        return runner.map(simulate_cell, cells, labels=labels)
     results: dict[int, CellResult] = {}
     fresh: list[SimCell] = []
     fresh_keys: list[tuple] = []
@@ -214,9 +241,11 @@ def run_sim_cells(
                 fresh.append(cell)
                 fresh_keys.append(key)
             waiters.setdefault(key, []).append(index)
+    fresh_labels = [cell.label for cell in fresh]
     if runner.parallel and fresh:
         _prewarm_automata(fresh)
-    computed = runner.map(simulate_cell, fresh, labels=[cell.label for cell in fresh])
+        fresh = _share_cell_traces(fresh)
+    computed = runner.map(simulate_cell, fresh, labels=fresh_labels)
     for key, result in zip(fresh_keys, computed):
         _MEMO[key] = result
         for index in waiters[key]:

@@ -4,48 +4,76 @@ The evaluation half of the reproduction is dominated by grids of
 independent simulations — (policy x workload x configuration x seed)
 cells for miss-ratio matrices, agreement matrices, noise sweeps and the
 E1-E12 benchmark tables.  :class:`ExperimentRunner` fans such grids out
-over a :class:`concurrent.futures.ProcessPoolExecutor` with chunked
-scheduling while guaranteeing that the result list is *bit-identical* to
-running the cells serially in submission order:
+over the process-wide persistent :mod:`repro.runner.pool` with adaptive
+chunked scheduling while guaranteeing that the result list is
+*bit-identical* to running the cells serially in submission order:
 
 * cells are pure functions of their task value — workers receive the
-  task by pickling, never by shared mutable state;
+  task by pickling (or by shared-memory handle, see
+  :mod:`repro.runner.shm`), never by shared mutable state;
 * all seeded randomness flows through :class:`repro.util.rng.SeededRng`,
   whose stream derivation is process-stable (no ``hash()``
   randomization), so a worker derives exactly the streams the parent
   would;
-* results are collected by cell index, not completion order.
+* results are collected by cell index, not completion order, and worker
+  metric/event shards merge in deterministic first-cell-index order.
 
-Failures degrade, never abort: a chunk whose worker dies (or whose task
-cannot be pickled) is retried in a fresh pool, and whatever still fails
-is re-executed serially in the parent process, where a genuine task
-error surfaces with its original traceback.
+Scheduling is adaptive: the first wave uses small probe chunks, then
+chunk sizes follow an EWMA of observed per-cell seconds targeting
+:data:`TARGET_CHUNK_SECONDS` per chunk, capped so the tail of a grid
+still spreads over every worker (stragglers stay bounded).  Measurement
+DB scope preloading (``preload_scopes=``) runs in the parent *while the
+first wave is in flight* and is broadcast to workers over shared
+memory, so neither the parent nor any worker blocks on sqlite.
+
+Failures degrade, never abort: a chunk whose worker dies is retried on
+the surviving workers (the dead one is restarted individually — the
+pool survives), a chunk that cannot be pickled falls straight back, and
+whatever still fails after ``retries`` attempts is re-executed serially
+in the parent process, where a genuine task error surfaces with its
+original traceback.
 
 Observability crosses the process boundary.  Each dispatched chunk runs
 against a *worker-local* :class:`~repro.obs.metrics.Metrics` store and
 (when the parent has a tracer installed) a worker-local
 :class:`~repro.obs.trace.Tracer` with the parent's include filter; the
 chunk result carries the store's snapshot and the collected events back,
-the parent merges the snapshot into :data:`repro.obs.metrics.DEFAULT`
-and interleaves the event shards — in deterministic cell order, seq
-numbers rebased — into its own tracer.  Span context
-(:mod:`repro.obs.spans`) is forwarded too, so a cell's spans nest under
-the ``runner.map`` span that scheduled it.  A parallel run therefore
-produces the same counters and the same event mix as ``jobs=0``; only
-wall-clock observations differ in value.
+the parent merges the snapshots and interleaves the event shards — in
+deterministic cell order, seq numbers rebased — into its own tracer.
+Span context (:mod:`repro.obs.spans`) is forwarded too, so a cell's
+spans nest under the ``runner.map`` span that scheduled it.  A parallel
+run therefore produces the same *logical* counters and event mix as
+``jobs=0``; the exceptions are the runner's own scheduling metrics
+(``runner.*`` — per-source cell splits, pool lifecycle, shm transport,
+adaptive chunk sizes) and cache-warmth splits (``kernel.compile.hit``
+vs ``.load`` vs ``.miss``), because a persistent worker's in-memory
+caches outlive the fork point — the *totals* still match, only the
+warm/cold split is process-local.
 """
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
+from collections import deque
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
+
+#: Adaptive chunking aims for chunks of about this much work, so pipe
+#: traffic stays negligible without letting one chunk become a straggler.
+TARGET_CHUNK_SECONDS = 0.2
+
+#: Cells per probe chunk while no timing has been observed yet.
+PROBE_CHUNK_CELLS = 2
+
+#: How long one collect() pass waits before re-checking worker health.
+_COLLECT_INTERVAL = 0.1
 
 
 @dataclass(frozen=True)
@@ -79,6 +107,12 @@ def _run_chunk(fn, indexed_tasks, capture=None):
     chunk's spans under the parent's ``runner.map`` span via a
     deterministic ``w<first-cell-index>`` prefix, so ids are unique
     across chunks without any process-dependent state.
+
+    Persistent workers outlive any parent-side context manager, so the
+    spec also pins the measurement-DB and kernel/store switches for the
+    duration of the chunk (and restores them after): a worker spawned
+    during one test or experiment must not leak its settings into the
+    next.
     """
     if capture is None:
         rows = []
@@ -89,6 +123,8 @@ def _run_chunk(fn, indexed_tasks, capture=None):
         return rows, None, None
 
     restore_measuredb = _apply_measuredb_spec(capture.get("measuredb"))
+    restore_kernel = _apply_kernel_spec(capture.get("kernel"))
+    _adopt_scope_rows(capture.get("scope_rows"))
     local = obs_metrics.Metrics()
     tracer = None
     if capture.get("trace"):
@@ -108,6 +144,7 @@ def _run_chunk(fn, indexed_tasks, capture=None):
     finally:
         obs_metrics.DEFAULT = previous_metrics
         obs_trace.ACTIVE = previous_tracer
+        restore_kernel()
         restore_measuredb()
     events = tracer.events if tracer is not None else None
     shard_dir = capture.get("shard_dir")
@@ -148,6 +185,109 @@ def _apply_measuredb_spec(spec) -> Callable[[], None]:
     return restore
 
 
+def _apply_kernel_spec(spec) -> Callable[[], None]:
+    """Pin this process's kernel/store switches to the parent's; undo.
+
+    A persistent worker may have been spawned under a different store
+    directory (tests isolate per-test) or while the kernel was disabled
+    (reference benchmarks), so each chunk carries the parent's current
+    switches instead of trusting fork-time state.
+    """
+    if spec is None:
+        return lambda: None
+    from repro import kernels
+    from repro.kernels import store
+
+    previous = (
+        kernels.kernel_enabled(),
+        kernels.vector_enabled(),
+        str(store.cache_dir()),
+        store.store_enabled(),
+    )
+    kernels.set_kernel_enabled(spec["enabled"])
+    kernels.set_vector_enabled(spec["vector"])
+    if str(store.cache_dir()) != spec["store_dir"]:
+        # set_cache_dir drops the persisted-artifact memo, so only
+        # re-point when the directory actually changed.
+        store.set_cache_dir(spec["store_dir"])
+    store.set_store_enabled(spec["store_enabled"])
+
+    def restore() -> None:
+        kernels.set_kernel_enabled(previous[0])
+        kernels.set_vector_enabled(previous[1])
+        if str(store.cache_dir()) != previous[2]:
+            store.set_cache_dir(previous[2])
+        store.set_store_enabled(previous[3])
+
+    return restore
+
+
+#: Digests of scope-row broadcasts this worker has already adopted.
+_ADOPTED_SCOPES: set[str] = set()
+
+
+def _adopt_scope_rows(spec) -> None:
+    """Merge a broadcast measurement-DB memo snapshot into this worker.
+
+    ``spec`` is either an shm handle ``(segment name, size, digest)`` or
+    an inline snapshot dict (the pickle fallback).  Adoption is silent
+    on the ``db.*`` counters and idempotent; a missing segment simply
+    leaves the worker to preload from sqlite on first query.
+    """
+    if spec is None:
+        return
+    from repro import measuredb
+
+    if isinstance(spec, tuple):
+        name, size, digest = spec
+        if digest in _ADOPTED_SCOPES:
+            return
+        from repro.runner import shm as runner_shm
+
+        payload = runner_shm.read_blob(name, size, unlink=False)
+        if payload is None:
+            return
+        measuredb.adopt_scope_rows(pickle.loads(payload))
+        _ADOPTED_SCOPES.add(digest)
+    else:
+        measuredb.adopt_scope_rows(spec)
+
+
+class _AdaptiveChunker:
+    """Chunk sizing from observed cell timings (probe -> EWMA -> cap).
+
+    With no observations yet, chunks are :data:`PROBE_CHUNK_CELLS` small
+    so the pipeline fills fast and timing data arrives early.  Once cell
+    timings flow in, the size targets :data:`TARGET_CHUNK_SECONDS` of
+    work per chunk, capped at ``ceil(remaining / (2 * jobs))`` so the
+    tail of the grid still spreads across every worker — the straggler
+    bound.  An explicit ``chunk_size`` disables adaptation entirely.
+    """
+
+    def __init__(self, fixed: int | None, jobs: int) -> None:
+        self.fixed = fixed
+        self.jobs = max(1, jobs or 1)
+        self._ewma: float | None = None
+
+    def observe(self, seconds: float) -> None:
+        if self._ewma is None:
+            self._ewma = seconds
+        else:
+            self._ewma = 0.7 * self._ewma + 0.3 * seconds
+
+    def next_size(self, remaining: int) -> int:
+        if self.fixed is not None:
+            return max(1, min(self.fixed, remaining))
+        if self._ewma is None:
+            size = PROBE_CHUNK_CELLS
+        else:
+            size = int(TARGET_CHUNK_SECONDS / max(self._ewma, 1e-7))
+        straggler_cap = max(1, -(-remaining // (2 * self.jobs)))
+        size = max(1, min(size, straggler_cap, remaining))
+        obs_metrics.DEFAULT.observe("runner.chunk.adaptive", size)
+        return size
+
+
 class ExperimentRunner:
     """Ordered, fault-tolerant map over independent experiment cells.
 
@@ -155,15 +295,25 @@ class ExperimentRunner:
         jobs: worker process count; ``None``, 0 or 1 run serially in the
             parent process (the default, so existing entry points keep
             their exact behaviour unless a caller opts in).
-        chunk_size: cells per worker task; defaults to spreading the
-            grid over ``4 * jobs`` chunks so stragglers rebalance.
-        retries: how many times a failed chunk is resubmitted to a fresh
-            pool before the serial fallback runs it in the parent.
+        chunk_size: cells per worker task; default adapts chunk sizes to
+            observed cell timings (see :class:`_AdaptiveChunker`).
+        retries: how many times a failed chunk is resubmitted to the
+            surviving workers before the serial fallback runs it in the
+            parent.
         progress: optional per-cell :data:`ProgressHook`.
         trace_shard_dir: when set and a tracer is active, each worker
             chunk also writes its events to a per-chunk JSONL shard
             (``shard-<first-cell-index>.jsonl``) in this directory, for
             post-mortems of runs that die before the parent merge.
+        start_method: multiprocessing start method for the pool
+            (``"fork"``/``"spawn"``/``"forkserver"``; default: the
+            platform's).
+        reuse_pool: use the process-wide persistent pool (the default);
+            ``False`` spawns a private pool per ``map()`` call, which is
+            the old per-round behaviour the benchmarks use as baseline.
+        preload_scopes: measurement-DB scopes to preload in the parent,
+            overlapped with the first in-flight chunks and broadcast to
+            workers over shared memory.
 
     Every completed cell is also appended to :attr:`timings`, which the
     benchmarks use for their throughput tables.
@@ -176,12 +326,18 @@ class ExperimentRunner:
         retries: int = 1,
         progress: ProgressHook | None = None,
         trace_shard_dir: str | Path | None = None,
+        start_method: str | None = None,
+        reuse_pool: bool = True,
+        preload_scopes: Sequence[str] | None = None,
     ) -> None:
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.retries = retries
         self.progress = progress
         self.trace_shard_dir = trace_shard_dir
+        self.start_method = start_method
+        self.reuse_pool = reuse_pool
+        self.preload_scopes = list(preload_scopes) if preload_scopes else []
         self.timings: list[CellTiming] = []
 
     @property
@@ -221,49 +377,65 @@ class ExperimentRunner:
                     jobs=self.jobs if self.parallel else 1,
                 )
             if not self.parallel or len(tasks) <= 1:
+                self._preload_parent_scopes()
                 return self._run_serially(fn, indexed, labels, source="serial")
 
             results: dict[int, object] = {}
             shards: dict[int, list] = {}
+            metric_shards: dict[int, dict] = {}
             capture = self._capture_spec()
-            pending = self._chunked(indexed)
-            for _attempt in range(1 + max(0, self.retries)):
-                if not pending:
-                    break
-                pending = self._run_round(
-                    fn, pending, labels, results, capture, shards
+            try:
+                unfinished = self._run_pooled(
+                    fn, indexed, labels, results, capture, shards, metric_shards
                 )
+            except Exception:
+                # The pool plane itself failed (cannot spawn processes,
+                # broken pipes wholesale): run everything still missing
+                # in-process.
+                unfinished = [
+                    [pair for pair in indexed if pair[0] not in results]
+                ]
+            pending = [pair for chunk in unfinished for pair in chunk]
             if pending:
                 # Last resort: run the survivors in-process.  Deterministic
                 # task errors propagate here with their original traceback.
-                fallback = [pair for chunk in pending for pair in chunk]
-                fallback.sort(key=lambda pair: pair[0])
+                pending.sort(key=lambda pair: pair[0])
                 for index, value in zip(
-                    (pair[0] for pair in fallback),
-                    self._run_serially(fn, fallback, labels, source="fallback"),
+                    (pair[0] for pair in pending),
+                    self._run_serially(fn, pending, labels, source="fallback"),
                 ):
                     results[index] = value
+            self._merge_metric_shards(metric_shards)
             self._ingest_shards(shards)
             return [results[index] for index in range(len(tasks))]
 
     # -- internals ---------------------------------------------------------
     def _capture_spec(self) -> dict:
-        """Describe to workers what observability state to capture.
+        """Describe to workers what process state to capture and pin.
 
         The spec is pickled with every chunk; it carries the parent's
-        span path (so worker spans nest under ``runner.map``) and, when
-        a tracer is installed, its include filter and the optional shard
-        directory.  Metrics capture is unconditional — merging a
-        worker's store into the parent's is what keeps ``--jobs N``
-        counters identical to a serial run.
+        span path (so worker spans nest under ``runner.map``), the
+        measurement-DB and kernel/store switches (persistent workers
+        outlive any parent-side context), and, when a tracer is
+        installed, its include filter and the optional shard directory.
+        Metrics capture is unconditional — merging a worker's store into
+        the parent's is what keeps ``--jobs N`` counters identical to a
+        serial run.
         """
-        from repro import measuredb
+        from repro import kernels, measuredb
+        from repro.kernels import store
 
         spec: dict = {"span_parent": obs_spans.current_span()}
         spec["measuredb"] = {
             "dir": str(measuredb.db_dir()),
             "enabled": measuredb.db_enabled(),
             "hits": measuredb.hits_cache_enabled(),
+        }
+        spec["kernel"] = {
+            "enabled": kernels.kernel_enabled(),
+            "vector": kernels.vector_enabled(),
+            "store_dir": str(store.cache_dir()),
+            "store_enabled": store.store_enabled(),
         }
         tracer = obs_trace.ACTIVE
         if tracer is not None:
@@ -274,6 +446,43 @@ class ExperimentRunner:
                 shard_dir.mkdir(parents=True, exist_ok=True)
                 spec["shard_dir"] = str(shard_dir)
         return spec
+
+    def _preload_parent_scopes(self) -> None:
+        """Serial-path scope preload (parity with the parallel path)."""
+        if not self.preload_scopes:
+            return
+        from repro import measuredb
+
+        measuredb.preload_scopes(self.preload_scopes)
+
+    def _broadcast_scope_rows(self, capture: dict) -> None:
+        """Preload scopes in the parent and broadcast the memos.
+
+        Called once per ``map()`` *after* the first chunk wave is in
+        flight, so the sqlite read overlaps worker compute.  Chunks
+        submitted afterwards carry the shm handle (or the inline
+        snapshot when shm is unavailable); earlier chunks just preload
+        lazily like before — correctness never depends on the overlap.
+        """
+        from repro import measuredb
+        from repro.runner import shm as runner_shm
+
+        snapshot = measuredb.preload_scopes(self.preload_scopes)
+        if not any(snapshot.values()):
+            return
+        payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.blake2s(payload, digest_size=16).hexdigest()
+        shared = runner_shm.share_blob(f"scopes:{digest}", payload)
+        if shared is not None:
+            name, size = shared
+            capture["scope_rows"] = (name, size, digest)
+        else:
+            capture["scope_rows"] = snapshot
+
+    def _merge_metric_shards(self, metric_shards: dict[int, dict]) -> None:
+        """Merge worker metric snapshots in deterministic cell order."""
+        for first in sorted(metric_shards):
+            obs_metrics.DEFAULT.merge(metric_shards[first])
 
     def _ingest_shards(self, shards: dict[int, list]) -> None:
         """Re-sequence buffered worker events into the parent tracer.
@@ -287,48 +496,97 @@ class ExperimentRunner:
         for first in sorted(shards):
             tracer.ingest(shards[first])
 
-    def _run_round(self, fn, chunks, labels, results, capture, shards) -> list:
-        """Submit ``chunks`` to one fresh pool; return the failed ones."""
-        failed: list = []
+    def _note_chunk_retry(self, chunk: list) -> None:
+        obs_metrics.DEFAULT.incr("runner.chunk_retries")
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit("runner.retry", cells=len(chunk))
+
+    def _run_pooled(
+        self, fn, indexed, labels, results, capture, shards, metric_shards
+    ) -> list[list]:
+        """Dispatch every (index, task) pair through the worker pool.
+
+        Returns the chunks that exhausted their retries (or could not be
+        pickled) for the caller's serial fallback.  The scheduling loop
+        keeps every idle worker fed: retried chunks first, then fresh
+        chunks carved off the queue at the adaptive size.  A worker that
+        dies mid-chunk is restarted individually and its chunk re-queued
+        on the survivors — the pool, and every other in-flight chunk,
+        keeps running.
+        """
+        from repro.runner import pool as runner_pool
+
+        if self.reuse_pool:
+            pool = runner_pool.get_pool(self.jobs, self.start_method)
+        else:
+            pool = runner_pool.fresh_pool(self.jobs, self.start_method)
+        chunker = _AdaptiveChunker(self.chunk_size, self.jobs)
+        queue: deque = deque(indexed)
+        retry: deque = deque()
+        fallback: list[list] = []
+        attempts: dict[int, int] = {}
+        preload_pending = bool(self.preload_scopes)
+
+        def give_up(chunk: list) -> None:
+            self._note_chunk_retry(chunk)
+            first = chunk[0][0]
+            attempts[first] = attempts.get(first, 0) + 1
+            if attempts[first] <= max(0, self.retries):
+                retry.append(chunk)
+            else:
+                fallback.append(chunk)
+
         try:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                future_of = {
-                    pool.submit(_run_chunk, fn, chunk, capture): chunk
-                    for chunk in chunks
-                }
-                remaining = set(future_of)
-                while remaining:
-                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        chunk = future_of[future]
-                        try:
-                            rows, worker_metrics, worker_events = future.result()
-                        except Exception:
-                            # Worker death, pickling failure, or a task
-                            # error; all retried, then run serially.
-                            obs_metrics.DEFAULT.incr("runner.chunk_retries")
-                            tracer = obs_trace.ACTIVE
-                            if tracer is not None:
-                                tracer.emit("runner.retry", cells=len(chunk))
-                            failed.append(chunk)
-                            continue
+            while queue or retry or pool.busy_count():
+                for worker in pool.idle_workers():
+                    if retry:
+                        chunk = retry.popleft()
+                    elif queue:
+                        size = chunker.next_size(len(queue))
+                        chunk = [queue.popleft() for _ in range(size)]
+                    else:
+                        break
+                    try:
+                        pool.submit(worker, _run_chunk, (fn, chunk, capture), chunk)
+                    except (OSError, EOFError):
+                        # The worker died under us; restart it and let
+                        # the chunk take a retry slot.
+                        pool._replace(worker)
+                        give_up(chunk)
+                    except Exception:
+                        # fn or a task does not pickle — deterministic,
+                        # straight to the serial fallback (still noted
+                        # as a chunk retry, like any failed chunk).
+                        self._note_chunk_retry(chunk)
+                        fallback.append(chunk)
+                if preload_pending:
+                    # First wave is in flight: overlap the sqlite read
+                    # with worker compute, then broadcast the rows.
+                    preload_pending = False
+                    self._broadcast_scope_rows(capture)
+                if not pool.busy_count():
+                    if queue or retry:
+                        continue
+                    break
+                for kind, chunk, payload in pool.collect(_COLLECT_INTERVAL):
+                    if kind == "done":
+                        rows, worker_metrics, worker_events = payload
+                        first = chunk[0][0]
                         if worker_metrics:
-                            obs_metrics.DEFAULT.merge(worker_metrics)
+                            metric_shards[first] = worker_metrics
                         if worker_events:
-                            shards[chunk[0][0]] = worker_events
+                            shards[first] = worker_events
                         for index, value, seconds in rows:
                             results[index] = value
+                            chunker.observe(seconds)
                             self.record(index, labels[index], seconds, "parallel")
-        except Exception:
-            # The pool itself failed to start or broke down wholesale.
-            covered = {id(chunk) for chunk in failed}
-            failed.extend(
-                chunk
-                for chunk in chunks
-                if id(chunk) not in covered
-                and any(index not in results for index, _ in chunk)
-            )
-        return failed
+                    else:  # "failed" (task raised) or "lost" (worker died)
+                        give_up(chunk)
+        finally:
+            if not self.reuse_pool:
+                pool.shutdown()
+        return fallback
 
     def _run_serially(self, fn, indexed_tasks, labels, source: str) -> list:
         values = []
@@ -338,17 +596,6 @@ class ExperimentRunner:
             self.record(index, labels[index], time.perf_counter() - start, source)
             values.append(value)
         return values
-
-    def _chunked(self, indexed_tasks: list) -> list[list]:
-        size = self.chunk_size
-        if size is None:
-            # ~4 chunks per worker balances scheduling overhead against
-            # straggler rebalancing on heterogeneous cell costs.
-            size = max(1, len(indexed_tasks) // (4 * (self.jobs or 1)) or 1)
-        return [
-            indexed_tasks[start : start + size]
-            for start in range(0, len(indexed_tasks), size)
-        ]
 
     def record(self, index: int, label: str, seconds: float, source: str) -> None:
         """Append one timing record and notify the progress hook.

@@ -111,9 +111,9 @@ class TestCachingOracle:
         assert oracle.cache_hits == 0
         assert oracle.cache_misses == 3
 
-    def test_count_misses_many_dedupes_within_batch(self):
+    def test_query_dedupes_within_batch(self):
         oracle = CachingOracle(SimulatedSetOracle(LruPolicy(2)))
-        results = oracle.count_misses_many(
+        results = oracle.query(
             [([], [1, 2, 1]), ([], [1, 2, 1]), ([1, 2], [3])]
         )
         assert results == [2, 2, 1]

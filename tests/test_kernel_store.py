@@ -347,11 +347,11 @@ class TestBatchEngines:
         assert counters["kernel.calls"] == 1
         assert counters["kernel.calls.batch"] == 1
 
-    def test_oracle_count_misses_many_matches_loop(self):
+    def test_oracle_query_matches_loop(self):
         batched = SimulatedSetOracle(make_policy("plru", 4))
         looped = SimulatedSetOracle(make_policy("plru", 4))
         queries = [(list(range(4)), [5, 0, 6, 1]), ([], [1, 1, 2]), (list(range(4)), [5, 0, 6, 1])]
-        assert batched.count_misses_many(queries) == [
+        assert batched.query(queries) == [
             looped.count_misses(setup, probe) for setup, probe in queries
         ]
         assert batched.measurements == looped.measurements == 3
@@ -360,13 +360,13 @@ class TestBatchEngines:
     def test_caching_oracle_batch_dedup_and_accounting(self):
         oracle = CachingOracle(SimulatedSetOracle(make_policy("lru", WAYS)))
         queries = [([], [1, 2, 3]), ([], [1, 2, 3]), ([1], [2, 3, 1])]
-        results = oracle.count_misses_many(queries)
+        results = oracle.query(queries)
         assert results[0] == results[1]
         assert oracle.cache_hits == 1
         assert oracle.cache_misses == 2
         assert oracle._inner.measurements == 2
         # Replaying the same batch is all hits.
-        assert oracle.count_misses_many(queries) == results
+        assert oracle.query(queries) == results
         assert oracle.cache_hits == 4
 
     def test_caching_oracle_batch_matches_serial_counters(self):
@@ -374,7 +374,7 @@ class TestBatchEngines:
         batched = CachingOracle(SimulatedSetOracle(make_policy("fifo", WAYS)))
         queries = PROBE_QUERIES + PROBE_QUERIES[:2]
         expected = [serial.count_misses(setup, probe) for setup, probe in queries]
-        assert batched.count_misses_many(queries) == expected
+        assert batched.query(queries) == expected
         assert batched.cache_hits == serial.cache_hits
         assert batched.cache_misses == serial.cache_misses
         assert batched.accesses == serial.accesses

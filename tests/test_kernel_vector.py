@@ -294,19 +294,19 @@ def test_vector_counters_flush(tiny_lanes):
 
 
 def test_oracle_batch_costs_identical_across_engines():
-    """count_misses_many: oracle cost accounting is engine-invariant."""
+    """query(): oracle cost accounting is engine-invariant."""
     results = {}
     for mode in ("vector", "scalar", "interpreter"):
         clear_compile_cache()
         oracle = SimulatedSetOracle(LruPolicy(WAYS))
         if mode == "interpreter":
             with kernel_disabled():
-                counts = oracle.count_misses_many(QUERIES)
+                counts = oracle.query(QUERIES)
         elif mode == "scalar":
             with vector_disabled():
-                counts = oracle.count_misses_many(QUERIES)
+                counts = oracle.query(QUERIES)
         else:
-            counts = oracle.count_misses_many(QUERIES)
+            counts = oracle.query(QUERIES)
         results[mode] = (counts, oracle.measurements, oracle.accesses)
     assert results["vector"] == results["scalar"] == results["interpreter"]
 
@@ -333,7 +333,7 @@ def test_caching_oracle_boundary_shift_no_collision():
     assert oracle.cache_misses == 2 and oracle.cache_hits == 0
     assert len(inner.calls) == 2
     # And the batch path keys identically to the sequential path.
-    assert oracle.count_misses_many([([1], [2, 3]), ([1, 2], [3])]) == [2, 1]
+    assert oracle.query([([1], [2, 3]), ([1, 2], [3])]) == [2, 1]
     assert oracle.cache_hits == 2
     assert len(inner.calls) == 2
 

@@ -75,8 +75,10 @@ class TestProtocolShape:
         assert isinstance(hw, OracleProtocol)
         assert isinstance(hw, MissCountOracle)
 
-    def test_count_misses_many_is_a_query_wrapper(self):
-        assert lru_oracle().count_misses_many(REQUESTS) == lru_oracle().query(REQUESTS)
+    def test_count_misses_many_is_a_deprecated_query_wrapper(self):
+        with pytest.deprecated_call(match="count_misses_many"):
+            legacy = lru_oracle().count_misses_many(REQUESTS)
+        assert legacy == lru_oracle().query(REQUESTS)
 
     def test_query_empty_batch(self):
         assert lru_oracle().query([]) == []

@@ -222,31 +222,50 @@ class TestObservabilityMerge:
         return obs_metrics.DEFAULT.snapshot(), events
 
     def test_parallel_metrics_equal_serial_modulo_timers(self):
-        """The acceptance property: --jobs N counters == jobs=0 counters
-        (except the per-source cell counters), observation counts too."""
+        """The acceptance property: --jobs N counters == jobs=0 counters,
+        modulo the runner's own scheduling metrics (cell-source splits,
+        pool lifecycle, shm transport) and the kernel cache-warmth split
+        — persistent workers keep their in-memory automaton caches
+        across maps, so hit/load/miss may split differently than in the
+        parent while their total stays exact."""
         serial, _ = self._run(jobs=0)
         parallel, _ = self._run(jobs=3)
 
         def comparable(snapshot):
-            return {
-                key: value
-                for key, value in snapshot["counters"].items()
-                if not key.startswith("runner.cells.")
-            }
+            counters = {}
+            compile_total = 0
+            for key, value in snapshot["counters"].items():
+                if key.startswith("runner."):
+                    continue
+                if key.startswith("kernel.compile."):
+                    compile_total += value
+                    continue
+                counters[key] = value
+            counters["kernel.compile.total"] = compile_total
+            return counters
 
         assert comparable(serial) == comparable(parallel)
         assert serial["counters"]["runner.cells.serial"] == len(self._cells())
         assert parallel["counters"]["runner.cells.parallel"] == len(self._cells())
-        serial_counts = {
-            key: value["count"] for key, value in serial["observations"].items()
-        }
-        parallel_counts = {
-            key: value["count"] for key, value in parallel["observations"].items()
-        }
-        assert serial_counts == parallel_counts
+
+        def observation_counts(snapshot):
+            return {
+                key: value["count"]
+                for key, value in snapshot["observations"].items()
+                if not key.startswith("runner.chunk.")
+            }
+
+        assert observation_counts(serial) == observation_counts(parallel)
+        cells = len(self._cells())
+        assert serial["observations"]["runner.cell_seconds"]["count"] == cells
+        assert parallel["observations"]["runner.cell_seconds"]["count"] == cells
 
     def test_parallel_trace_matches_serial_event_mix(self):
-        include = ("runner.", "span.", "kernel.", "oracle.")
+        # kernel.* events are cache-warmth dependent (a persistent
+        # worker's warm automaton cache skips the load/miss events the
+        # parent's cold one would emit), so the mix parity covers the
+        # logical event families only.
+        include = ("runner.", "span.", "oracle.")
         _, serial_events = self._run(jobs=0, tracer_include=include)
         _, parallel_events = self._run(jobs=3, tracer_include=include)
 

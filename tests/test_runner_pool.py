@@ -1,0 +1,403 @@
+"""Tests for the persistent worker pool, shm transport and scheduler.
+
+Covers the runner's PR-8 surface: pool lifecycle (lazy spawn, reuse
+across ``map()`` calls, per-worker restart on death, ``shutdown_pool``),
+the shared-memory transport plane (trace broadcasts, large result
+segments, graceful pickle fallback), adaptive chunking determinism, the
+measurement-DB scope preload/adopt path, and hypothesis property tests
+asserting parallel == serial under pool reuse and both start methods.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import measuredb
+from repro.cache import CacheConfig
+from repro.core.oracle import SimulatedSetOracle
+from repro.obs import metrics as obs_metrics
+from repro.policies import make_policy
+from repro.runner import (
+    ExperimentRunner,
+    SharedTrace,
+    SimCell,
+    clear_memo,
+    pool_stats,
+    run_sim_cells,
+    share_trace,
+    shm_disabled,
+    shutdown_pool,
+)
+from repro.runner import pool as runner_pool
+from repro.runner import shm as runner_shm
+from repro.runner.cells import _share_cell_traces
+from repro.workloads import sequential_scan, workload_suite
+
+_PARENT_PID = os.getpid()
+
+CONFIG = CacheConfig("L2", 8 * 1024, 8)
+
+
+def _big_traces():
+    suite = workload_suite(cache_lines=CONFIG.num_sets * CONFIG.ways, seed=0)
+    big = [t for t in suite if len(t) >= runner_shm.MIN_TRACE_ADDRESSES]
+    assert len(big) >= 2
+    return big[:2]
+
+
+def _pid(task):
+    return os.getpid()
+
+
+def _double(task):
+    return task * 2
+
+
+def _counting(task):
+    obs_metrics.DEFAULT.incr("test.pool.calls")
+    return task + 1
+
+
+def _die_once(task):
+    """Kill the worker on the marked task, once; succeed on retry."""
+    value, marker = task
+    if marker is not None and os.getpid() != _PARENT_PID:
+        if not os.path.exists(marker):
+            with open(marker, "w") as handle:
+                handle.write("died")
+            os._exit(17)
+    return value * 5
+
+
+def _die_on_seven(task):
+    """Kill any worker that draws task 7; fine in the parent."""
+    if task == 7 and os.getpid() != _PARENT_PID:
+        os._exit(23)
+    return task * 11
+
+
+def _payload(task):
+    return bytes(task)
+
+
+def _describe_trace(cell):
+    trace = cell.trace
+    array = trace.address_array()
+    return (
+        type(trace).__name__,
+        len(trace),
+        tuple(trace.addresses[:4]),
+        None if array is None else int(array[0]),
+    )
+
+
+_SCOPE = "test|runner-pool-preload"
+
+
+def _query_scope(task):
+    setup, probe = task
+    service = measuredb.shared_service(_SCOPE)
+    inner = SimulatedSetOracle(make_policy("lru", 4))
+    return service.query([(setup, probe)], inner)[0]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool_and_metrics():
+    """Each test here reasons about pool lifecycle counters from zero."""
+    shutdown_pool()
+    obs_metrics.DEFAULT.reset()
+    clear_memo()
+    yield
+    shutdown_pool()
+
+
+def _runner_counters():
+    counters = obs_metrics.DEFAULT.snapshot()["counters"]
+    return {key: value for key, value in counters.items() if key.startswith("runner.")}
+
+
+class TestPoolLifecycle:
+    def test_pool_spawned_once_and_reused_across_maps(self):
+        runner = ExperimentRunner(jobs=2)
+        first = set(runner.map(_pid, list(range(8))))
+        second = set(runner.map(_pid, list(range(8))))
+        counters = _runner_counters()
+        assert counters["runner.pool.spawned"] == 1
+        assert counters["runner.pool.reused"] >= 1
+        # The same worker processes served both rounds.
+        assert len(first | second) <= 2
+        assert second <= first
+        assert _PARENT_PID not in first
+
+    def test_pool_shared_across_runner_instances(self):
+        ExperimentRunner(jobs=2).map(_double, [1, 2, 3, 4])
+        ExperimentRunner(jobs=2).map(_double, [5, 6, 7, 8])
+        counters = _runner_counters()
+        assert counters["runner.pool.spawned"] == 1
+        assert counters["runner.pool.reused"] == 1
+
+    def test_jobs_change_replaces_the_pool(self):
+        ExperimentRunner(jobs=2).map(_double, [1, 2, 3, 4])
+        ExperimentRunner(jobs=3).map(_double, [1, 2, 3, 4])
+        assert _runner_counters()["runner.pool.spawned"] == 2
+        assert pool_stats() == {
+            "jobs": 3,
+            "start_method": "fork",
+            "busy": 0,
+            "workers_alive": 3,
+        }
+
+    def test_shutdown_pool_allows_a_fresh_start(self):
+        ExperimentRunner(jobs=2).map(_double, [1, 2, 3, 4])
+        shutdown_pool()
+        assert pool_stats() is None
+        ExperimentRunner(jobs=2).map(_double, [1, 2, 3, 4])
+        assert _runner_counters()["runner.pool.spawned"] == 2
+
+    def test_worker_death_restarts_only_that_worker(self, tmp_path):
+        marker = str(tmp_path / "died-once")
+        tasks = [(index, None) for index in range(6)]
+        tasks[3] = (3, marker)
+        runner = ExperimentRunner(jobs=2, chunk_size=1, retries=1)
+        assert runner.map(_die_once, tasks) == [v * 5 for v in range(6)]
+        counters = _runner_counters()
+        # The killed chunk was retried on a live worker, not run in the
+        # parent: every cell still reports source "parallel".
+        assert counters["runner.cells.parallel"] == 6
+        assert "runner.cells.fallback" not in counters
+        assert counters["runner.pool.restarted"] >= 1
+        assert counters["runner.pool.spawned"] == 1
+        assert pool_stats()["workers_alive"] == 2
+
+    def test_persistent_worker_death_falls_back_serially(self):
+        runner = ExperimentRunner(jobs=2, chunk_size=1, retries=1)
+        assert runner.map(_die_on_seven, [1, 2, 7, 4]) == [11, 22, 77, 44]
+        sources = {t.index: t.source for t in runner.timings}
+        assert sources[2] == "fallback"
+        assert sources[0] == sources[1] == sources[3] == "parallel"
+        assert _runner_counters()["runner.pool.restarted"] >= 2
+
+
+class TestSharedMemoryTransport:
+    def test_share_trace_roundtrips_through_pickle(self):
+        trace = _big_traces()[0]
+        assert len(trace) >= runner_shm.MIN_TRACE_ADDRESSES
+        shared = share_trace(trace)
+        assert isinstance(shared, SharedTrace)
+        payload = pickle.dumps(shared)
+        assert len(payload) < 1024, "handle pickled, not the addresses"
+        clone = pickle.loads(payload)
+        assert clone.name == trace.name
+        assert len(clone) == len(trace)
+        assert tuple(clone.addresses) == trace.addresses
+        array = clone.address_array()
+        if array is not None:
+            assert tuple(int(a) for a in array[:8]) == trace.addresses[:8]
+        counters = _runner_counters()
+        assert counters["runner.shm.broadcasts"] == 1
+        assert counters["runner.shm.bytes"] == 8 * len(trace)
+        # Re-sharing the same trace reuses the segment.
+        assert share_trace(trace)._ref == shared._ref
+        assert _runner_counters()["runner.shm.broadcasts"] == 1
+
+    def test_small_traces_are_not_shared(self):
+        assert share_trace(sequential_scan(64)) is None
+        assert "runner.shm.broadcasts" not in _runner_counters()
+
+    def test_shm_disabled_falls_back_to_plain_pickle(self):
+        trace = _big_traces()[0]
+        with shm_disabled():
+            assert share_trace(trace) is None
+            cells = [SimCell.make(trace, CONFIG, policy) for policy in ("lru", "fifo")]
+            assert _share_cell_traces(cells) == cells
+        assert "runner.shm.broadcasts" not in _runner_counters()
+
+    def test_workers_see_shared_traces_with_zero_copy_arrays(self):
+        traces = _big_traces()
+        cells = [SimCell.make(trace, CONFIG, "lru") for trace in traces]
+        shared_cells = _share_cell_traces(cells)
+        assert all(isinstance(cell.trace, SharedTrace) for cell in shared_cells)
+        runner = ExperimentRunner(jobs=2, chunk_size=1)
+        described = runner.map(_describe_trace, shared_cells)
+        for trace, (kind, count, head, first) in zip(traces, described):
+            assert kind == "SharedTrace"
+            assert count == len(trace)
+            assert head == trace.addresses[:4]
+            if first is not None:
+                assert first == trace.addresses[0]
+
+    def test_shared_and_plain_cells_simulate_identically(self):
+        traces = _big_traces()
+        cells = [
+            SimCell.make(trace, CONFIG, policy, seed=3)
+            for policy in ("lru", "plru")
+            for trace in traces
+        ]
+        serial = run_sim_cells(cells, jobs=0, memoize=False)
+        clear_memo()
+        with shm_disabled():
+            plain = run_sim_cells(
+                cells, runner=ExperimentRunner(jobs=2), memoize=False
+            )
+        clear_memo()
+        shared = run_sim_cells(cells, runner=ExperimentRunner(jobs=2), memoize=False)
+        assert plain == serial
+        assert shared == serial
+        assert _runner_counters()["runner.shm.broadcasts"] == len(traces)
+
+    def test_large_results_return_through_shm_segments(self):
+        size = runner_pool.RESULT_SHM_MIN_BYTES
+        runner = ExperimentRunner(jobs=2, chunk_size=1)
+        out = runner.map(_payload, [size, size + 1, 8])
+        assert [len(blob) for blob in out] == [size, size + 1, 8]
+        assert _runner_counters()["runner.shm.bytes"] >= 2 * size
+
+
+class TestAdaptiveChunking:
+    def test_adaptive_sizes_are_observed_and_bounded(self):
+        runner = ExperimentRunner(jobs=2)
+        tasks = list(range(40))
+        assert runner.map(_double, tasks) == [t * 2 for t in tasks]
+        snapshot = obs_metrics.DEFAULT.snapshot()["observations"]
+        sizes = snapshot.get("runner.chunk.adaptive")
+        assert sizes is not None and sizes["count"] >= 2
+        assert 1 <= sizes["min"] and sizes["max"] <= len(tasks)
+
+    def test_fixed_chunk_size_disables_adaptation(self):
+        runner = ExperimentRunner(jobs=2, chunk_size=3)
+        runner.map(_double, list(range(12)))
+        snapshot = obs_metrics.DEFAULT.snapshot()["observations"]
+        assert "runner.chunk.adaptive" not in snapshot
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        tasks=st.lists(st.integers(min_value=0, max_value=99), min_size=2, max_size=40),
+        jobs=st.integers(min_value=2, max_value=3),
+    )
+    def test_parallel_equals_serial_under_pool_reuse(self, tasks, jobs):
+        """Property: results and counters match serial, maps back to back."""
+        obs_metrics.DEFAULT.reset()
+        expected = ExperimentRunner().map(_counting, tasks)
+        serial_calls = obs_metrics.DEFAULT.snapshot()["counters"]["test.pool.calls"]
+        assert serial_calls == len(tasks)
+
+        obs_metrics.DEFAULT.reset()
+        runner = ExperimentRunner(jobs=jobs)
+        assert runner.map(_counting, tasks) == expected
+        assert runner.map(_counting, tasks) == expected
+        counters = obs_metrics.DEFAULT.snapshot()["counters"]
+        assert counters["test.pool.calls"] == 2 * len(tasks)
+        assert counters.get("runner.pool.spawned", 0) <= 1
+        assert counters.get("runner.cells.parallel", 0) == 2 * len(tasks)
+
+
+class TestStartMethods:
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_sim_cells_bit_identical_across_start_methods(self, method):
+        cells = [
+            SimCell.make(trace, CONFIG, policy, seed=2)
+            for policy in ("lru", "fifo")
+            for trace in _big_traces()
+        ]
+        serial = run_sim_cells(cells, jobs=0, memoize=False)
+        clear_memo()
+        runner = ExperimentRunner(jobs=2, start_method=method)
+        parallel = run_sim_cells(cells, runner=runner, memoize=False)
+        assert parallel == serial
+        assert pool_stats()["start_method"] == method
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_plain_map_and_counters_across_start_methods(self, method):
+        runner = ExperimentRunner(jobs=2, start_method=method)
+        tasks = list(range(10))
+        assert runner.map(_counting, tasks) == [t + 1 for t in tasks]
+        counters = obs_metrics.DEFAULT.snapshot()["counters"]
+        assert counters["test.pool.calls"] == len(tasks)
+        assert counters["runner.cells.parallel"] == len(tasks)
+
+
+class TestScopePreload:
+    def test_adopt_rows_serves_silently(self):
+        service = measuredb.OracleService(_SCOPE)
+        digest = measuredb.request_digest((1, 2), (3,))
+        service.adopt_rows({digest: 7})
+        inner = SimulatedSetOracle(make_policy("lru", 4))
+        assert service.query([((1, 2), (3,))], inner)[0] == 7
+        counters = obs_metrics.DEFAULT.snapshot()["counters"]
+        assert counters.get("db.hit", 0) == 1
+        assert counters.get("db.miss", 0) == 0
+        assert "db.preload" not in counters
+
+    def test_preload_scopes_snapshot_matches_db(self, tmp_path):
+        measuredb.set_db_dir(tmp_path)
+        measuredb.set_db_enabled(True)
+        try:
+            requests = [((), (lane,)) for lane in range(6)]
+            expected = [_query_scope(request) for request in requests]
+            measuredb.reset()
+            snapshot = measuredb.preload_scopes([_SCOPE])
+            assert len(snapshot[_SCOPE]) == len(requests)
+            # Adopting the snapshot into a fresh process answers without
+            # touching the database again.
+            measuredb.reset()
+            obs_metrics.DEFAULT.reset()
+            measuredb.adopt_scope_rows(snapshot)
+            assert [_query_scope(request) for request in requests] == expected
+            counters = obs_metrics.DEFAULT.snapshot()["counters"]
+            assert counters.get("db.miss", 0) == 0
+            assert "db.preload" not in counters
+        finally:
+            measuredb.set_db_dir(None)
+            measuredb.set_db_enabled(False)
+            measuredb.reset()
+
+    def test_runner_preload_broadcast_keeps_workers_off_the_db(self, tmp_path):
+        measuredb.set_db_dir(tmp_path)
+        measuredb.set_db_enabled(True)
+        try:
+            requests = [((), tuple(range(lane + 1))) for lane in range(8)]
+            expected = [_query_scope(request) for request in requests]
+            # A "new run" over the same database: memos gone, rows kept.
+            measuredb.reset()
+            obs_metrics.DEFAULT.reset()
+            runner = ExperimentRunner(
+                jobs=2, chunk_size=1, preload_scopes=[_SCOPE]
+            )
+            assert runner.map(_query_scope, requests) == expected
+            counters = obs_metrics.DEFAULT.snapshot()["counters"]
+            # Every answer came from a memo (parent preload broadcast or
+            # a worker's own warm start) — nothing was re-measured.
+            assert counters.get("db.miss", 0) == 0
+            assert counters.get("db.hit", 0) == len(requests)
+            assert counters.get("db.preload", 0) >= len(requests)
+        finally:
+            measuredb.set_db_dir(None)
+            measuredb.set_db_enabled(False)
+            measuredb.reset()
+
+    def test_serial_path_preloads_for_parity(self, tmp_path):
+        measuredb.set_db_dir(tmp_path)
+        measuredb.set_db_enabled(True)
+        try:
+            requests = [((), (lane,)) for lane in range(4)]
+            expected = [_query_scope(request) for request in requests]
+            measuredb.reset()
+            obs_metrics.DEFAULT.reset()
+            runner = ExperimentRunner(preload_scopes=[_SCOPE])
+            assert runner.map(_query_scope, requests) == expected
+            counters = obs_metrics.DEFAULT.snapshot()["counters"]
+            assert counters.get("db.preload", 0) == len(requests)
+            assert counters.get("db.miss", 0) == 0
+        finally:
+            measuredb.set_db_dir(None)
+            measuredb.set_db_enabled(False)
+            measuredb.reset()
