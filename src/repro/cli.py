@@ -11,7 +11,11 @@ Subcommands mirror the library's two halves:
 * ``trace`` — replay/filter a JSONL trace file written by ``--trace``;
 * ``cache`` — inspect/warm/clear the on-disk automaton store;
 * ``db`` — inspect/clear/export the persistent measurement database;
-* ``report`` — summarize or diff ``*.ledger.json`` run manifests.
+* ``report`` — summarize or diff ``*.ledger.json`` run manifests;
+* ``history`` — ingest/check/inspect the run-history database
+  (``history ingest benchmarks/results/`` backfills, ``history check``
+  is the perf-regression exit-code gate);
+* ``dash`` — render the static HTML observability dashboard.
 
 The measurement-driving subcommands accept ``--trace FILE`` (stream
 structured events to a JSONL file) and ``--metrics FILE`` (write an
@@ -253,20 +257,44 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     """Summarize or diff run ledgers written next to metrics sidecars."""
-    try:
-        ledgers = [obs_ledger.read_ledger(path) for path in args.files]
-    except OSError as error:
-        raise ReproError(f"cannot read ledger: {error}") from error
+    ledgers = []
+    for path in args.files:
+        # Every malformed input degrades to a one-line error + exit 2
+        # (via ReproError in main) — never a traceback: missing file,
+        # truncated JSON, JSON that is not a ledger document.
+        try:
+            ledgers.append(obs_ledger.read_ledger(path))
+        except OSError as error:
+            raise ReproError(f"cannot read ledger {path}: {error}") from error
+        except ValueError as error:
+            raise ReproError(
+                f"{path} is not a ledger: invalid JSON ({error})"
+            ) from error
+        except ReproError as error:
+            raise ReproError(f"{path} is not a ledger: {error}") from error
     if args.diff:
         if len(ledgers) != 2:
             raise ReproError("--diff needs exactly two ledger files")
         print(obs_ledger.diff_ledgers(ledgers[0], ledgers[1]))
         return 0
+    status = 0
     for index, ledger in enumerate(ledgers):
         if index:
             print()
         print(obs_ledger.format_ledger(ledger))
-    return 0
+        if args.against_history:
+            from repro.obs import regress as obs_regress
+
+            verdicts = obs_regress.check_run(
+                ledger, baseline_ref=args.baseline
+            )
+            print()
+            print(obs_regress.format_verdicts(
+                verdicts, title=f"{ledger.name} vs history"
+            ))
+            if any(verdict.status == "fail" for verdict in verdicts):
+                status = 1
+    return status
 
 
 def _add_obs_options(command: argparse.ArgumentParser) -> None:
@@ -431,6 +459,119 @@ def _cmd_db(args: argparse.Namespace) -> int:
             measuredb.reset()
 
 
+def _cmd_history(args: argparse.Namespace) -> int:
+    """Manage the run-history database (ingest/check/stats/clear)."""
+    from repro.obs import history as obs_history
+    from repro.obs import regress as obs_regress
+
+    previous_dir = None
+    if args.dir is not None:
+        previous_dir = obs_history.history_dir()
+        obs_history.set_history_dir(args.dir)
+    try:
+        if args.action == "ingest":
+            report = obs_history.ingest_paths(args.paths)
+            for path, status in report["files"]:
+                print(f"{status:9s} {path}")
+            for path, reason in report["errors"]:
+                print(f"error: {path}: {reason}", file=sys.stderr)
+            print(
+                f"ingested {report['recorded']} new, "
+                f"{report['duplicates']} duplicate(s), "
+                f"{len(report['errors'])} error(s) "
+                f"into {obs_history.history_path()}"
+            )
+            return 0 if not report["errors"] else 1
+        if args.action == "check":
+            defaults = {
+                "window": obs_regress.DEFAULT_WINDOW,
+                "min_samples": obs_regress.DEFAULT_MIN_SAMPLES,
+                "wall_threshold": obs_regress.DEFAULT_WALL_THRESHOLD,
+                "counter_threshold": obs_regress.DEFAULT_COUNTER_THRESHOLD,
+            }
+            knobs = {
+                name: getattr(args, name) if getattr(args, name) is not None
+                else value
+                for name, value in defaults.items()
+            }
+            verdicts = obs_regress.check_history(
+                experiments=args.experiment or None,
+                baseline_ref=args.baseline,
+                **knobs,
+            )
+            print(obs_regress.format_verdicts(verdicts))
+            failed = sum(1 for verdict in verdicts if verdict.status == "fail")
+            skipped = sum(1 for verdict in verdicts if verdict.status == "skip")
+            print(
+                f"checked {len(verdicts)} metric(s): "
+                f"{failed} regression(s), {skipped} skipped"
+            )
+            if failed and args.warn_only:
+                print("warn-only: regressions reported, exit suppressed",
+                      file=sys.stderr)
+                return 0
+            return 1 if failed else 0
+        if args.action == "stats":
+            info = obs_history.stats()
+            rows = [
+                [entry["name"], entry["runs"], entry["first"], entry["latest"]]
+                for entry in info["experiments"]
+            ]
+            print(format_table(
+                ["experiment", "runs", "first", "latest"],
+                rows,
+                title=f"run history @ {info['path']}",
+            ))
+            print(
+                f"runs: {info['total_runs']} across "
+                f"{len(info['experiments'])} experiment(s), "
+                f"{info['total_bench_points']} bench point(s), "
+                f"total {info['total_bytes']} bytes, "
+                f"schema v{info['schema_version']}, "
+                f"{'enabled' if info['enabled'] else 'disabled'}"
+            )
+            return 0
+        # clear
+        removed = obs_history.clear()
+        print(f"removed {removed} row(s) from {obs_history.history_path()}")
+        return 0
+    finally:
+        if args.dir is not None:
+            obs_history.set_history_dir(previous_dir)
+            obs_history.reset()
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """Render the static HTML observability dashboard."""
+    from repro.obs import dash as obs_dash
+    from repro.obs import history as obs_history
+
+    previous_dir = None
+    if args.dir is not None:
+        previous_dir = obs_history.history_dir()
+        obs_history.set_history_dir(args.dir)
+    try:
+        results_dir = args.results
+        if results_dir is None:
+            default = Path("benchmarks") / "results"
+            results_dir = default if default.is_dir() else None
+        report = obs_dash.render_dashboard(
+            args.output, results_dir=results_dir
+        )
+    finally:
+        if args.dir is not None:
+            obs_history.set_history_dir(previous_dir)
+            obs_history.reset()
+    print(
+        f"dashboard: {len(report['pages'])} page(s) -> {args.output} "
+        f"({report['runs']} run(s), {report['experiments']} experiment(s), "
+        f"{report['bench_points']} bench point(s), "
+        f"{report['flagged']} flagged group(s))"
+    )
+    print(f"open {Path(args.output) / 'index.html'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -582,6 +723,74 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("files", nargs="+", help="ledger file(s) to read")
     report.add_argument("--diff", action="store_true",
                         help="compare exactly two ledgers side by side")
+    report.add_argument("--against-history", action="store_true",
+                        help="also judge each ledger against its baseline "
+                        "group in the run-history database (exit 1 on "
+                        "regression)")
+    report.add_argument("--baseline", default=None, metavar="REF",
+                        help="with --against-history: pin the baseline to "
+                        "runs recorded at this git revision (sha prefix)")
+
+    history = sub.add_parser(
+        "history",
+        help="manage the run-history database (ingest/check/stats/clear)",
+        description="Example: repro-cache history ingest benchmarks/results/ "
+        "&& repro-cache history check",
+    )
+    history.add_argument("--dir", default=None,
+                         help="history directory (default: shared with the "
+                         "automaton store: $REPRO_CACHE_DIR or ./.repro-cache)")
+    history_sub = history.add_subparsers(dest="action", required=True)
+    ingest = history_sub.add_parser(
+        "ingest",
+        help="backfill history from ledgers and BENCH_*.json files",
+        description="Directories are scanned for *.ledger.json and "
+        "BENCH_*.json; re-ingesting is idempotent (content fingerprints).",
+    )
+    ingest.add_argument("paths", nargs="+",
+                        help="ledger/BENCH files or directories of them")
+    check = history_sub.add_parser(
+        "check",
+        help="regression-check the latest run of every baseline group",
+        description="Exit 1 when any group's newest run regressed against "
+        "its baseline window (median + MAD rule); groups with too little "
+        "history are skipped, so a cold database passes.",
+    )
+    check.add_argument("--experiment", action="append", default=[],
+                       metavar="NAME",
+                       help="restrict to this experiment (repeatable)")
+    check.add_argument("--window", type=int, default=None,
+                       help="baseline window length (prior runs per group)")
+    check.add_argument("--min-samples", type=int, default=None,
+                       help="baseline runs required before judging")
+    check.add_argument("--wall-threshold", type=float, default=None,
+                       help="wall-time ratio that fails (default 1.5)")
+    check.add_argument("--counter-threshold", type=float, default=None,
+                       help="counter ratio that fails (default 2.0)")
+    check.add_argument("--baseline", default=None, metavar="REF",
+                       help="pin the baseline to runs recorded at this git "
+                       "revision (sha prefix) instead of the sliding window")
+    check.add_argument("--warn-only", action="store_true",
+                       help="report regressions but always exit 0 (cold-"
+                       "cache CI gates)")
+    history_sub.add_parser("stats", help="inventory of the history database")
+    history_sub.add_parser("clear", help="delete all recorded history")
+
+    dash = sub.add_parser(
+        "dash",
+        help="render the static HTML observability dashboard",
+        description="Example: repro-cache dash -o dash/ — renders a fleet "
+        "summary, per-experiment trend pages, bench-trajectory sparklines "
+        "and span flame views from the run-history database.",
+    )
+    dash.add_argument("-o", "--output", default="dash",
+                      help="output directory (default: dash/)")
+    dash.add_argument("--results", default=None, metavar="DIR",
+                      help="results directory for *.trace.jsonl flame views "
+                      "(default: benchmarks/results/ when present)")
+    dash.add_argument("--dir", default=None,
+                      help="history directory (default: shared with the "
+                      "automaton store)")
 
     return parser
 
@@ -598,6 +807,8 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "db": _cmd_db,
     "report": _cmd_report,
+    "history": _cmd_history,
+    "dash": _cmd_dash,
 }
 
 #: Namespace attributes that belong in a metrics sidecar's params block.
@@ -625,7 +836,10 @@ def _run_with_observability(args: argparse.Namespace) -> int:
     compiled kernel stays eligible (its counters flush into the metrics
     store directly), so ``--metrics`` composes with ``--kernel``.  When a
     metrics sidecar is written, a ``*.ledger.json`` run manifest lands
-    next to it for ``repro-cache report``.
+    next to it for ``repro-cache report``, and the ledger is auto-
+    recorded into the run-history database (with the runner's per-map
+    breakdowns attached).  Without ``--metrics`` no history code runs at
+    all — no sqlite file is created.
     """
     trace_file = getattr(args, "trace_file", None)
     metrics_file = getattr(args, "metrics_file", None)
@@ -637,8 +851,9 @@ def _run_with_observability(args: argparse.Namespace) -> int:
     cache_dir = getattr(args, "cache_dir", None)
     cache_dir_before = None
     if cache_dir is not None:
-        # One switch moves both persistent stores: the measurement DB's
-        # directory follows the automaton store's unless overridden.
+        # One switch moves all three persistent stores: the measurement
+        # DB's and history DB's directories follow the automaton store's
+        # unless overridden.
         from repro import measuredb
         from repro.kernels import store
 
@@ -647,6 +862,11 @@ def _run_with_observability(args: argparse.Namespace) -> int:
         measuredb.reset()
     DEFAULT.reset()
     obs_spans.reset()
+    maps: list[dict] = []
+    if metrics_file is not None:
+        from repro.runner import core as runner_core
+
+        runner_core.add_map_hook(maps.append)
     start = time.perf_counter()
     try:
         if trace_file is not None:
@@ -658,7 +878,44 @@ def _run_with_observability(args: argparse.Namespace) -> int:
                     uninstall()
         else:
             status = command(args)
+        wall_seconds = time.perf_counter() - start
+        if metrics_file is not None:
+            # Sidecar + ledger are written (and history recorded) while
+            # the --cache-dir override is still in force, so the history
+            # row lands in the same directory tree as the other stores.
+            result = ExperimentResult(
+                name=f"cli-{args.command}",
+                params=_sidecar_params(args),
+                data={"exit_status": status},
+                metrics=DEFAULT.snapshot(),
+            )
+            Path(metrics_file).write_text(result.to_json(indent=2) + "\n")
+            ledger = obs_ledger.build_ledger(
+                name=f"cli-{args.command}",
+                params=_sidecar_params(args),
+                wall_seconds=wall_seconds,
+                seed=getattr(args, "seed", None),
+                jobs=getattr(args, "jobs", None),
+                kernel=getattr(args, "kernel", None),
+                counters=DEFAULT.snapshot().get("counters", {}),
+                artifacts=[
+                    path for path in (metrics_file, trace_file)
+                    if path is not None
+                ],
+            )
+            obs_ledger.write_ledger(
+                ledger, obs_ledger.ledger_path_for(metrics_file)
+            )
+            from repro.obs import history as obs_history
+
+            obs_history.record_ledger(
+                ledger, source="cli", maps=maps or None
+            )
     finally:
+        if metrics_file is not None:
+            from repro.runner import core as runner_core
+
+            runner_core.remove_map_hook(maps.append)
         set_kernel_enabled(kernel_before)
         set_vector_enabled(vector_before)
         if cache_dir is not None:
@@ -667,28 +924,6 @@ def _run_with_observability(args: argparse.Namespace) -> int:
 
             store.set_cache_dir(cache_dir_before)
             measuredb.reset()
-    wall_seconds = time.perf_counter() - start
-    if metrics_file is not None:
-        result = ExperimentResult(
-            name=f"cli-{args.command}",
-            params=_sidecar_params(args),
-            data={"exit_status": status},
-            metrics=DEFAULT.snapshot(),
-        )
-        Path(metrics_file).write_text(result.to_json(indent=2) + "\n")
-        ledger = obs_ledger.build_ledger(
-            name=f"cli-{args.command}",
-            params=_sidecar_params(args),
-            wall_seconds=wall_seconds,
-            seed=getattr(args, "seed", None),
-            jobs=getattr(args, "jobs", None),
-            kernel=getattr(args, "kernel", None),
-            counters=DEFAULT.snapshot().get("counters", {}),
-            artifacts=[
-                path for path in (metrics_file, trace_file) if path is not None
-            ],
-        )
-        obs_ledger.write_ledger(ledger, obs_ledger.ledger_path_for(metrics_file))
     return status
 
 

@@ -36,8 +36,19 @@ Five layers:
   digests, counter snapshot) written next to every sidecar and compared
   by the ``repro-cache report`` subcommand.
 
-The event schema, result protocol and ledger schema are documented in
-OBSERVABILITY.md.
+Three more layers build the *across-run* plane on top of those five:
+
+* :mod:`repro.obs.history` — the WAL-mode sqlite run-history store
+  (``history-v<schema>.sqlite``) that every ledger and ``BENCH_*.json``
+  trajectory point can be recorded into (auto-recorded by the CLI under
+  ``--metrics``, backfilled by ``repro-cache history ingest``);
+* :mod:`repro.obs.regress` — the perf-regression detector (median + MAD
+  baselines per experiment group) behind ``repro-cache history check``;
+* :mod:`repro.obs.dash` — the static HTML dashboard renderer behind
+  ``repro-cache dash``.
+
+The event schema, result protocol, ledger schema and run-history plane
+are documented in OBSERVABILITY.md.
 """
 
 from repro.obs.ledger import (

@@ -71,6 +71,7 @@ __all__ = [
     "ledger_path_for",
     "read_ledger",
     "validate_ledger",
+    "verify_artifacts",
     "write_ledger",
     "main",
 ]
@@ -306,6 +307,39 @@ def read_ledger(path: str | Path) -> RunLedger:
     return RunLedger.from_json(Path(path).read_text(encoding="utf-8"))
 
 
+def verify_artifacts(
+    ledger: RunLedger, base_dir: str | Path = "."
+) -> list[tuple[str, str]]:
+    """Check the ledger's artifact digests against the files on disk.
+
+    Returns ``(path, problem)`` pairs — ``missing`` for an artifact file
+    that no longer exists, ``digest mismatch ...`` / ``size mismatch
+    ...`` for one whose content changed since the ledger was written.
+    An empty list means every recorded artifact still matches.
+    """
+    problems: list[tuple[str, str]] = []
+    base = Path(base_dir)
+    for record in ledger.artifacts:
+        path = base / record["path"]
+        if not path.exists():
+            problems.append((record["path"], "missing"))
+            continue
+        actual = file_digest(path)
+        if actual["sha256"] != record["sha256"]:
+            problems.append(
+                (record["path"],
+                 f"digest mismatch (recorded {str(record['sha256'])[:12]}, "
+                 f"actual {actual['sha256'][:12]})")
+            )
+        elif actual["bytes"] != record["bytes"]:
+            problems.append(
+                (record["path"],
+                 f"size mismatch (recorded {record['bytes']}, "
+                 f"actual {actual['bytes']})")
+            )
+    return problems
+
+
 # -- reporting ---------------------------------------------------------------
 
 #: Counters surfaced first in summaries/diffs: the paper's cost model
@@ -406,10 +440,19 @@ def diff_ledgers(a: RunLedger, b: RunLedger) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Validate ledger files given on the command line (CI entry point)."""
+    """Validate ledger files given on the command line (CI entry point).
+
+    ``--verify`` additionally checks each ledger's artifact digests
+    against the files next to it (see :func:`verify_artifacts`).
+    """
     paths = list(sys.argv[1:] if argv is None else argv)
+    verify = "--verify" in paths
+    paths = [path for path in paths if path != "--verify"]
     if not paths:
-        print("usage: python -m repro.obs.ledger FILE [FILE ...]", file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.ledger [--verify] FILE [FILE ...]",
+            file=sys.stderr,
+        )
         return 2
     status = 0
     for path in paths:
@@ -417,6 +460,14 @@ def main(argv: list[str] | None = None) -> int:
             ledger = read_ledger(path)
         except (OSError, ResultSchemaError) as error:
             print(f"{path}: INVALID: {error}", file=sys.stderr)
+            status = 1
+            continue
+        problems = (
+            verify_artifacts(ledger, Path(path).parent) if verify else []
+        )
+        if problems:
+            for name, problem in problems:
+                print(f"{path}: ARTIFACT {name}: {problem}", file=sys.stderr)
             status = 1
         else:
             print(

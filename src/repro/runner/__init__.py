@@ -16,7 +16,14 @@ from repro.runner.cells import (
     simulate_cell,
     trace_fingerprint,
 )
-from repro.runner.core import CellTiming, ExperimentRunner, ProgressHook
+from repro.runner.core import (
+    CellTiming,
+    ExperimentRunner,
+    MapHook,
+    ProgressHook,
+    add_map_hook,
+    remove_map_hook,
+)
 from repro.runner.pool import WorkerPool, get_pool, pool_stats, shutdown_pool
 from repro.runner.shm import (
     SharedTrace,
@@ -30,7 +37,10 @@ __all__ = [
     "CellResult",
     "CellTiming",
     "ExperimentRunner",
+    "MapHook",
     "ProgressHook",
+    "add_map_hook",
+    "remove_map_hook",
     "SharedTrace",
     "SimCell",
     "WorkerPool",

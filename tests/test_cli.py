@@ -356,3 +356,195 @@ class TestInferWithDb:
         captured = capsys.readouterr()
         assert code in (0, 1)  # noise may defeat inference; not under test
         assert "no provenance" in captured.err
+
+
+class TestReportGracefulFailure:
+    """Malformed report inputs exit 2 with a one-line error, no traceback."""
+
+    def test_truncated_json(self, tmp_path, capsys):
+        path = tmp_path / "half.ledger.json"
+        path.write_text('{"name": "e3", "wall')
+        assert main(["report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_non_ledger_json(self, tmp_path, capsys):
+        path = tmp_path / "notledger.json"
+        path.write_text(json.dumps({"rows": [1, 2, 3]}))
+        assert main(["report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "missing fields" in err
+
+    def test_missing_file_names_the_path(self, tmp_path, capsys):
+        absent = tmp_path / "absent.ledger.json"
+        assert main(["report", str(absent)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "absent.ledger.json" in err
+
+    def test_directory_input(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestHistoryCommand:
+    def _write_ledger(self, directory, name="e_hist", wall=1.0,
+                      created="2026-08-01T00:00:00Z"):
+        from tests.test_obs_history import make_ledger
+
+        directory.mkdir(parents=True, exist_ok=True)
+        return obs_ledger.write_ledger(
+            make_ledger(name=name, wall=wall, created=created),
+            directory / f"{name}-{created[:10]}.ledger.json",
+        )
+
+    def test_ingest_check_stats_clear_cycle(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        hist = str(tmp_path / "hist")
+        self._write_ledger(results, wall=1.0, created="2026-08-01T00:00:00Z")
+        self._write_ledger(results, wall=1.1, created="2026-08-02T00:00:00Z")
+        assert main(["history", "--dir", hist, "ingest", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 2 new" in out
+        # Idempotent re-ingest.
+        assert main(["history", "--dir", hist, "ingest", str(results)]) == 0
+        assert "2 duplicate(s)" in capsys.readouterr().out
+        # Steady series: check passes.
+        assert main(["history", "--dir", hist, "check"]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+        assert main(["history", "--dir", hist, "stats"]) == 0
+        assert "runs: 2" in capsys.readouterr().out
+        assert main(["history", "--dir", hist, "clear"]) == 0
+        assert "removed 2 row(s)" in capsys.readouterr().out
+
+    def test_check_flags_synthetic_outlier(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        hist = str(tmp_path / "hist")
+        self._write_ledger(results, wall=1.0, created="2026-08-01T00:00:00Z")
+        self._write_ledger(results, wall=3.0, created="2026-08-09T00:00:00Z")
+        assert main(["history", "--dir", hist, "ingest", str(results)]) == 0
+        capsys.readouterr()
+        assert main(["history", "--dir", hist, "check"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "3.00x" in out
+
+    def test_check_warn_only_suppresses_the_exit_code(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        hist = str(tmp_path / "hist")
+        self._write_ledger(results, wall=1.0, created="2026-08-01T00:00:00Z")
+        self._write_ledger(results, wall=3.0, created="2026-08-09T00:00:00Z")
+        main(["history", "--dir", hist, "ingest", str(results)])
+        capsys.readouterr()
+        assert main(["history", "--dir", hist, "check", "--warn-only"]) == 0
+        assert "warn-only" in capsys.readouterr().err
+
+    def test_ingest_reports_broken_files(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "bad.ledger.json").write_text('{"half')
+        assert main(["history", "--dir", str(tmp_path / "hist"),
+                     "ingest", str(results)]) == 1
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "1 error(s)" in captured.out
+
+    def test_history_action_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["history"])
+
+
+class TestDashCommand:
+    def test_renders_from_ingested_history(self, tmp_path, capsys):
+        from tests.test_obs_history import make_ledger
+
+        results = tmp_path / "results"
+        results.mkdir()
+        obs_ledger.write_ledger(
+            make_ledger(name="e_dash"), results / "e_dash.ledger.json"
+        )
+        hist = str(tmp_path / "hist")
+        assert main(["history", "--dir", hist, "ingest", str(results)]) == 0
+        capsys.readouterr()
+        out_dir = tmp_path / "dash"
+        assert main(["dash", "--dir", hist, "-o", str(out_dir),
+                     "--results", str(results)]) == 0
+        assert (out_dir / "index.html").exists()
+        assert (out_dir / "exp-e_dash.html").exists()
+        assert "1 run(s)" in capsys.readouterr().out
+
+    def test_empty_history_renders_empty_dashboard(self, tmp_path, capsys):
+        out_dir = tmp_path / "dash"
+        assert main(["dash", "--dir", str(tmp_path / "hist"),
+                     "-o", str(out_dir)]) == 0
+        assert (out_dir / "index.html").exists()
+
+
+class TestHistoryAutoRecord:
+    def test_metrics_run_records_into_history(self, tmp_path):
+        from repro.obs import history as obs_history
+
+        cache_dir = tmp_path / "stores"
+        metrics_file = tmp_path / "q.metrics.json"
+        assert main(["query", "--policy", "lru", "--ways", "2",
+                     "--cache-dir", str(cache_dir),
+                     "--metrics", str(metrics_file), "a b a?"]) == 0
+        assert (cache_dir / obs_history.HISTORY_FILENAME).exists()
+        db = obs_history.HistoryDB(cache_dir / obs_history.HISTORY_FILENAME)
+        try:
+            (run,) = db.runs(with_counters=True)
+            assert run["name"] == "cli-query"
+            assert run["source"] == "cli"
+            assert run["counters"].get("oracle.measurements", 0) >= 1
+        finally:
+            db.close()
+
+    def test_no_metrics_means_no_history_file(self, tmp_path):
+        from repro.obs import history as obs_history
+
+        cache_dir = tmp_path / "stores"
+        assert main(["query", "--policy", "lru", "--ways", "2",
+                     "--cache-dir", str(cache_dir), "a b a?"]) == 0
+        assert not (cache_dir / obs_history.HISTORY_FILENAME).exists()
+
+    def test_runner_maps_attached_to_the_recorded_run(self, tmp_path):
+        from repro.obs import history as obs_history
+
+        cache_dir = tmp_path / "stores"
+        metrics_file = tmp_path / "e.metrics.json"
+        assert main(["evaluate", "--policies", "lru,fifo",
+                     "--size", "1024", "--ways", "2",
+                     "--cache-dir", str(cache_dir),
+                     "--metrics", str(metrics_file)]) == 0
+        db = obs_history.HistoryDB(cache_dir / obs_history.HISTORY_FILENAME)
+        try:
+            (run,) = db.runs()
+            assert run["maps"], "runner map records should be attached"
+            assert run["maps"][0]["cells"] > 0
+            assert "sources" in run["maps"][0]
+        finally:
+            db.close()
+
+    def test_report_against_history_flags_regression(self, tmp_path, capsys):
+        from tests.test_obs_history import make_ledger
+        from repro.obs import history as obs_history
+
+        hist_dir = tmp_path / "hist"
+        db = obs_history.HistoryDB(hist_dir / obs_history.HISTORY_FILENAME)
+        db.record_ledger(make_ledger(wall=1.0, created="2026-08-01T00:00:00Z"))
+        db.close()
+        slow = obs_ledger.write_ledger(
+            make_ledger(wall=3.0, created="2026-08-09T00:00:00Z"),
+            tmp_path / "slow.ledger.json",
+        )
+        obs_history.set_history_dir(hist_dir)
+        try:
+            assert main(["report", "--against-history", str(slow)]) == 1
+        finally:
+            obs_history.set_history_dir(None)
+            obs_history.reset()
+        out = capsys.readouterr().out
+        assert "vs history" in out
+        assert "FAIL" in out

@@ -1,0 +1,174 @@
+"""Tests for repro.obs.dash: the static HTML dashboard renderer.
+
+The renderer is stdlib-only and file-based, so the tests drive it from
+a throwaway history database and assert on the written pages: the fleet
+index links every experiment, trend pages exist per experiment, flagged
+runs carry an explicit REGRESSED label (text, not color alone), bench
+sparklines render, flame pages parse span trees from trace JSONL, and
+every page is well-formed enough to tag-balance.
+"""
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs import dash as obs_dash
+from repro.obs import history as obs_history
+from tests.test_obs_history import TestBenchPoints, make_ledger
+from tests.test_obs_regress import record_series
+
+VOID_TAGS = {
+    "meta", "br", "hr", "img", "input", "link", "circle", "line",
+    "polyline", "path",
+}
+
+
+class TagBalanceChecker(HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack: list[str] = []
+        self.errors: list[str] = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in VOID_TAGS:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in VOID_TAGS:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}> at {self.getpos()}")
+        else:
+            self.stack.pop()
+
+
+def assert_well_formed(path):
+    checker = TagBalanceChecker()
+    checker.feed(path.read_text(encoding="utf-8"))
+    assert not checker.errors, f"{path.name}: {checker.errors[:3]}"
+    assert not checker.stack, f"{path.name}: unclosed {checker.stack[:5]}"
+
+
+@pytest.fixture
+def db(tmp_path):
+    handle = obs_history.HistoryDB(tmp_path / "history-v1.sqlite")
+    yield handle
+    handle.close()
+
+
+class TestRenderDashboard:
+    def test_empty_history_still_renders_an_index(self, tmp_path, db):
+        report = obs_dash.render_dashboard(tmp_path / "dash", db=db)
+        index = tmp_path / "dash" / "index.html"
+        assert index.exists()
+        assert report["runs"] == 0
+        assert "no runs recorded" in index.read_text()
+        assert_well_formed(index)
+
+    def test_experiment_pages_linked_from_index(self, tmp_path, db):
+        record_series(db, [1.0, 1.1], name="e3_missratio")
+        record_series(db, [2.0], name="e8_agreement")
+        report = obs_dash.render_dashboard(tmp_path / "dash", db=db)
+        assert report["experiments"] == 2
+        index = (tmp_path / "dash" / "index.html").read_text()
+        assert "exp-e3_missratio.html" in index
+        assert "exp-e8_agreement.html" in index
+        exp = tmp_path / "dash" / "exp-e3_missratio.html"
+        assert exp.exists()
+        text = exp.read_text()
+        assert "wall time per run" in text
+        assert "deadbeef" in text  # git sha in the run table
+        assert_well_formed(exp)
+
+    def test_flagged_run_renders_regressed_label(self, tmp_path, db):
+        record_series(db, [1.0, 1.0, 3.0], name="e3_missratio")
+        report = obs_dash.render_dashboard(tmp_path / "dash", db=db)
+        assert report["flagged"] == 1
+        index = (tmp_path / "dash" / "index.html").read_text()
+        exp = (tmp_path / "dash" / "exp-e3_missratio.html").read_text()
+        # Status is carried by text, never color alone.
+        assert "REGRESSED" in index
+        assert "REGRESSED" in exp
+
+    def test_steady_history_is_unflagged(self, tmp_path, db):
+        record_series(db, [1.0, 1.0, 1.0], name="e3_missratio")
+        report = obs_dash.render_dashboard(tmp_path / "dash", db=db)
+        assert report["flagged"] == 0
+        assert "REGRESSED" not in (
+            tmp_path / "dash" / "exp-e3_missratio.html"
+        ).read_text()
+
+    def test_bench_page_renders_series_sparklines(self, tmp_path, db):
+        db.record_bench_point(dict(TestBenchPoints.PAYLOAD))
+        second = dict(TestBenchPoints.PAYLOAD)
+        second["data"] = {"speedup": 13.0, "interp_seconds": 4.8}
+        db.record_bench_point(second)
+        obs_dash.render_dashboard(tmp_path / "dash", db=db)
+        bench = tmp_path / "dash" / "bench.html"
+        assert bench.exists()
+        text = bench.read_text()
+        assert "bench_kernel" in text
+        assert "speedup" in text
+        assert "<svg" in text
+        assert_well_formed(bench)
+
+    def test_flame_pages_from_trace_jsonl(self, tmp_path, db):
+        record_series(db, [1.0], name="e3_missratio")
+        results = tmp_path / "results"
+        results.mkdir()
+        events = [
+            {"kind": "span.start", "id": "1", "span": "runner.map",
+             "parent": None},
+            {"kind": "span.start", "id": "1.1", "span": "cell", "parent": "1"},
+            {"kind": "span.end", "id": "1.1", "span": "cell", "seconds": 0.25},
+            {"kind": "span.end", "id": "1", "span": "runner.map",
+             "seconds": 1.0},
+        ]
+        (results / "e3_missratio.trace.jsonl").write_text(
+            "\n".join(json.dumps(event) for event in events) + "\n"
+        )
+        obs_dash.render_dashboard(
+            tmp_path / "dash", db=db, results_dir=results
+        )
+        flame = tmp_path / "dash" / "flame-e3_missratio.html"
+        assert flame.exists()
+        text = flame.read_text()
+        assert "runner.map" in text
+        assert "cell" in text
+        assert_well_formed(flame)
+        assert "flame-e3_missratio.html" in (
+            tmp_path / "dash" / "index.html"
+        ).read_text()
+
+    def test_unreadable_trace_is_skipped(self, tmp_path, db):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "junk.trace.jsonl").write_text("not json at all\n")
+        obs_dash.render_dashboard(
+            tmp_path / "dash", db=db, results_dir=results
+        )
+        assert not (tmp_path / "dash" / "flame-junk.html").exists()
+
+    def test_every_page_is_well_formed(self, tmp_path, db):
+        record_series(db, [1.0, 1.0, 3.0], name="e3_missratio")
+        record_series(db, [2.0], name="e8_agreement")
+        db.record_bench_point(dict(TestBenchPoints.PAYLOAD))
+        report = obs_dash.render_dashboard(tmp_path / "dash", db=db)
+        assert len(report["pages"]) >= 4
+        for page in report["pages"]:
+            assert_well_formed(tmp_path / "dash" / page.split("/")[-1])
+
+
+class TestSparkline:
+    def test_single_value_still_draws(self):
+        svg = obs_dash._sparkline([1.0])
+        assert "<svg" in svg and "polyline" in svg
+
+    def test_empty_series_degrades_to_label(self):
+        assert "no data" in obs_dash._sparkline([])
+
+    def test_escapes_labels(self):
+        svg = obs_dash._sparkline([1.0, 2.0], labels=["<b>", "&x"])
+        assert "<b>" not in svg
+        assert "&lt;b&gt;" in svg

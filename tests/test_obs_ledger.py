@@ -1,6 +1,7 @@
 """Tests for repro.obs.ledger: schema, round trips, reporting, diffing."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -143,6 +144,54 @@ class TestReporting:
         assert "kernel.calls" in text
 
 
+class TestEdgeCases:
+    def test_unknown_future_schema_version_rejected(self):
+        payload = make_ledger().to_dict()
+        payload["ledger_schema_version"] = LEDGER_SCHEMA_VERSION + 7
+        with pytest.raises(ResultSchemaError, match="unsupported"):
+            validate_ledger(payload)
+
+    def test_missing_key_counters_render_gracefully(self):
+        # A ledger with none of the KEY_COUNTERS must still format and
+        # diff — those counters are surfaced when present, never required.
+        bare = make_ledger(counters={})
+        assert "wall_seconds" in format_ledger(bare)
+        text = diff_ledgers(bare, bare)
+        assert "wall_seconds" in text
+        assert "oracle.measurements" not in text
+
+    def test_truncated_json_rejected_with_schema_error(self):
+        with pytest.raises(ResultSchemaError, match="not valid JSON"):
+            RunLedger.from_json('{"name": "half')
+
+
+class TestVerifyArtifacts:
+    def _written(self, tmp_path):
+        artifact = tmp_path / "table.txt"
+        artifact.write_text("rows\n")
+        ledger = build_ledger(name="v", artifacts=[artifact])
+        return artifact, ledger
+
+    def test_intact_artifacts_verify_clean(self, tmp_path):
+        _, ledger = self._written(tmp_path)
+        assert obs_ledger.verify_artifacts(ledger, tmp_path) == []
+
+    def test_digest_mismatch_detected(self, tmp_path):
+        artifact, ledger = self._written(tmp_path)
+        artifact.write_text("rows\ntampered\n")
+        problems = obs_ledger.verify_artifacts(ledger, tmp_path)
+        assert len(problems) == 1
+        assert problems[0][0] == "table.txt"
+        assert "digest mismatch" in problems[0][1]
+
+    def test_missing_artifact_flagged(self, tmp_path):
+        artifact, ledger = self._written(tmp_path)
+        artifact.unlink()
+        assert obs_ledger.verify_artifacts(ledger, tmp_path) == [
+            ("table.txt", "missing")
+        ]
+
+
 class TestValidatorCli:
     def test_valid_file_exits_zero(self, tmp_path, capsys):
         path = write_ledger(make_ledger(), tmp_path / "ok.ledger.json")
@@ -156,3 +205,32 @@ class TestValidatorCli:
 
     def test_no_arguments_exits_two(self, capsys):
         assert obs_ledger.main([]) == 2
+
+    def test_verify_flag_catches_tampered_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "table.txt"
+        artifact.write_text("rows\n")
+        ledger = build_ledger(name="v", artifacts=[artifact])
+        path = write_ledger(ledger, tmp_path / "v.ledger.json")
+        assert obs_ledger.main(["--verify", str(path)]) == 0
+        artifact.write_text("tampered\n")
+        assert obs_ledger.main(["--verify", str(path)]) == 1
+        assert "digest mismatch" in capsys.readouterr().err
+
+    def test_module_round_trip(self, tmp_path):
+        # A ledger written by the library validates through the module
+        # entry point exactly as CI invokes it.
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        path = write_ledger(make_ledger(), tmp_path / "run.ledger.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.ledger", str(path)],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ok" in proc.stdout
