@@ -348,10 +348,23 @@ class PermutationInference:
         draw order as generating them one at a time — the rng feeds
         nothing else) and predicted in one batch, so the vector engine
         can run every sequence as a lane of a single kernel call.
-        Measurements then proceed sequentially with the same
-        first-mismatch early exit as before: predictions are kernel
-        work, not oracle cost, so the oracle's ``measurements`` /
-        ``accesses`` accounting is unchanged on every path.
+        Predictions are kernel work, not oracle cost, so the oracle's
+        ``measurements``/``accesses`` accounting is unchanged by them.
+
+        Measurements: against a *deterministic* oracle (``provenance()``
+        is not None) every verification window is issued as one
+        :meth:`~repro.core.oracle.OracleProtocol.query` batch — the
+        windows replay nested prefixes of each other, exactly the shape
+        the prefix-trie planner collapses — in the same request order as
+        the sequential loop, with identical results and identical
+        measurement cost when verification *passes* (the overwhelmingly
+        common case; every window is measured either way).  On a
+        *failing* verification the batch measures every window where
+        the loop stopped at the first mismatch, trading a few extra
+        measurements on a cold negative for the batched fast path on
+        every positive.  Noisy oracles (provenance None) keep the
+        sequential first-mismatch loop so a failure costs as little
+        hardware time as before.
         """
         rng = random.Random(self.config.seed)
         establishment = self._establishment(ways)
@@ -376,6 +389,19 @@ class PermutationInference:
         cumulatives = self._predict_cumulative_batch(
             ways, spec, establishment, probes
         )
+        if self.oracle.provenance() is not None:
+            requests: list[tuple[list[int], list[int]]] = []
+            predicted: list[int] = []
+            for probe, cumulative in zip(probes, cumulatives):
+                window = self.config.verify_window or len(probe)
+                for start in range(0, len(probe), window):
+                    end = min(start + window, len(probe))
+                    requests.append((setup + probe[:start], probe[start:end]))
+                    predicted.append(cumulative[end] - cumulative[start])
+            if not requests:
+                return True
+            measured = self.oracle.query(requests)
+            return measured == predicted
         for probe, cumulative in zip(probes, cumulatives):
             window = self.config.verify_window or len(probe)
             for start in range(0, len(probe), window):

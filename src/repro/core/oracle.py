@@ -240,22 +240,39 @@ class SimulatedSetOracle(MissCountOracle):
     ) -> list[int]:
         """Answer many ``(setup, probe)`` measurements in order.
 
-        On the compiled fast path the whole batch runs through one
-        automaton in a single engine call
-        (:func:`repro.kernels.count_misses_batch`); measurement results
-        and per-measurement cost accounting (``measurements``,
+        On the compiled fast path the batch is first deduplicated —
+        identical requests (by :meth:`CachingOracle.memo_key`) are
+        measured once and fanned back out, since a deterministic set
+        answers them identically — and the unique requests run through
+        one automaton in a single engine call
+        (:func:`repro.kernels.count_misses_batch`, where the trie
+        planner additionally collapses shared prefixes).  Measurement
+        results and per-measurement cost accounting (``measurements``,
         ``accesses``, ``oracle.*`` metrics and events) are bit-identical
-        to looping over :meth:`count_misses`.
+        to looping over :meth:`count_misses` — every *logical*
+        measurement is accounted, duplicates included; only the executed
+        ``kernel.*`` work shrinks.
         """
         requests = list(requests)
         if len(requests) > 1 and kernels.kernel_allowed():
             compiled = kernels.compiled_for(self._prototype)
             if compiled is not None:
+                keys = [
+                    CachingOracle.memo_key(setup, probe)
+                    for setup, probe in requests
+                ]
+                position: dict[tuple, int] = {}
+                unique: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+                for key in keys:
+                    if key not in position:
+                        position[key] = len(unique)
+                        unique.append(key)
                 try:
-                    counts = kernels.count_misses_batch(compiled, requests)
+                    measured = kernels.count_misses_batch(compiled, unique)
                 except KernelUnsupported:
                     kernels.mark_unsupported(self._prototype)
                 else:
+                    counts = [measured[position[key]] for key in keys]
                     for (setup, probe), misses in zip(requests, counts):
                         self._note_measurement(len(setup), len(probe), misses)
                     return counts
@@ -502,8 +519,10 @@ class CachingOracle(MissCountOracle):
         deduplicated misses are dispatched through the inner oracle's
         own :meth:`~OracleProtocol.query` — for a
         :class:`SimulatedSetOracle` that is one batched kernel call for
-        the whole list.  Results and hit/miss accounting are
-        bit-identical to looping over :meth:`count_misses`.
+        the whole list, where the prefix-trie planner
+        (:mod:`repro.kernels.trie`) executes shared prefixes once.
+        Results and hit/miss accounting are bit-identical to looping
+        over :meth:`count_misses`.
         """
         keys = [self.memo_key(setup, probe) for setup, probe in requests]
         pending: set[tuple] = set()

@@ -61,7 +61,13 @@ from repro.kernels.engine import (
     simulate_trace_kernel,
     try_simulate_trace,
 )
-from repro.kernels import store, vector
+from repro.kernels import store, trie, vector
+from repro.kernels.trie import (
+    set_trie_enabled,
+    trie_allowed,
+    trie_disabled,
+    trie_enabled,
+)
 from repro.kernels.vector import (
     numpy_available,
     set_vector_enabled,
@@ -104,6 +110,11 @@ __all__ = [
     "vector_enabled",
     "set_vector_enabled",
     "vector_disabled",
+    "trie",
+    "trie_allowed",
+    "trie_enabled",
+    "set_trie_enabled",
+    "trie_disabled",
 ]
 
 #: Process-wide switch.  Worker processes forked by the runner inherit

@@ -45,7 +45,7 @@ from repro.cache.config import CacheConfig
 from repro.cache.set import SetAccessResult
 from repro.cache.stats import CacheStats
 from repro.errors import KernelUnsupported
-from repro.kernels import automaton, vector
+from repro.kernels import automaton, trie, vector
 from repro.kernels.automaton import CompiledPolicy, compiled_for_factory
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -310,8 +310,17 @@ def _batch_outcomes(
     The vector engine's accounting tuple is definitionally identical to
     the scalar batch's (same chunking-by-consecutive-setup rule), so the
     ``kernel.*`` counters do not depend on which engine ran; only the
-    ``kernel.vector.*`` namespace reveals the difference.
+    ``kernel.vector.*`` namespace reveals the difference.  The trie
+    planner takes the batch first when its gates pass — its *results*
+    are still bit-identical, but it executes strictly fewer accesses
+    (the skipped ones are reported as ``kernel.trie.reused_accesses``;
+    see OBSERVABILITY.md for the relaxed parity contract).
     """
+    planned = trie.plan_outcomes(compiled, queries)
+    if planned is not None:
+        outcomes, executed, executed_hits = planned
+        _note_kernel_call("batch", executed, executed_hits, executed - executed_hits)
+        return outcomes
     result = vector.batch_outcomes(compiled, queries)
     if result is None:
         result = _run_batch(compiled, queries)
@@ -335,8 +344,15 @@ def count_misses_batch(
     One metrics flush covers the whole batch; the counts themselves are
     bit-identical to per-query :func:`count_misses_kernel` calls.  On
     the vector path the per-access outcomes are summed per lane in
-    numpy and never materialize as Python lists.
+    numpy and never materialize as Python lists.  A prefix-redundant
+    batch is taken by the trie planner first (:mod:`repro.kernels.trie`),
+    which executes each shared ``setup ‖ probe`` prefix exactly once.
     """
+    planned = trie.plan_miss_counts(compiled, queries)
+    if planned is not None:
+        counts, executed, executed_hits = planned
+        _note_kernel_call("batch", executed, executed_hits, executed - executed_hits)
+        return counts
     result = vector.batch_miss_counts(compiled, queries)
     if result is None:
         outcomes, executed, executed_hits, reused = _run_batch(compiled, queries)

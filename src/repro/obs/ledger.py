@@ -356,6 +356,8 @@ KEY_COUNTERS = (
     "kernel.compile.hit",
     "kernel.compile.load",
     "kernel.compile.miss",
+    "kernel.trie.plans",
+    "kernel.trie.reused_accesses",
     "runner.chunk_retries",
     "runner.pool.spawned",
     "runner.pool.reused",
